@@ -1,0 +1,66 @@
+// Command datagen materializes the synthetic Hurricane dataset to disk as
+// raw .f32 files in the naming convention the folder loader parses —
+// standing in for downloading the Hurricane Isabel binaries.
+//
+// Usage:
+//
+//	datagen -out ./hurricane -dims 32x64x64 -steps 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/dataset"
+	"repro/internal/hurricane"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "hurricane-data", "output directory")
+		dims   = flag.String("dims", "32x64x64", "grid dims, ZxYxX")
+		steps  = flag.Int("steps", hurricane.Timesteps, "timesteps to generate")
+		fields = flag.String("fields", "", "comma-separated field subset (default: all 13)")
+	)
+	flag.Parse()
+
+	dimList, err := cliutil.ParseDims(*dims)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fieldList := hurricane.FieldNames
+	if *fields != "" {
+		fieldList = cliutil.ParseList(*fields)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+
+	total := 0
+	var bytes int64
+	for _, field := range fieldList {
+		for step := 0; step < *steps; step++ {
+			data, err := hurricane.Field(field, step, dimList)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+			name := fmt.Sprintf("%s.t%02d", field, step)
+			path, err := dataset.WriteRaw(*out, name, data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+			total++
+			bytes += int64(data.ByteSize())
+			if step == 0 {
+				fmt.Printf("%s ...\n", path)
+			}
+		}
+	}
+	fmt.Printf("wrote %d files (%.1f MiB) to %s\n", total, float64(bytes)/(1<<20), *out)
+}

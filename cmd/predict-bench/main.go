@@ -1,0 +1,157 @@
+// Command predict-bench is LibPressio-Predict-Bench: it schedules metric
+// and compressor observations over a locality-aware task queue with
+// checkpoint/restart, cross-validates the prediction schemes, and prints
+// the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	predict-bench -table2                      # the full Table-2 run
+//	predict-bench -table2 -store ./ckpt -v    # checkpointed, verbose
+//	predict-bench -baseline                    # compressor baselines only
+//	predict-bench -ablation svd                # Underwood SVD-cost ablation
+//	predict-bench -ablation jin                # Jin iterator ablation
+//
+// Scale knobs: -fields, -steps, -dims, -bounds, -schemes, -folds,
+// -workers. Defaults reproduce the paper's setup (13 fields × 48
+// timesteps, bounds 1e-6 and 1e-4, SZ3 + ZFP, 10-fold CV) on the
+// synthetic Hurricane grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		table2    = flag.Bool("table2", false, "run the Table-2 evaluation (default action)")
+		baseline  = flag.Bool("baseline", false, "measure compressor baselines only")
+		ablation  = flag.String("ablation", "", "run an ablation: svd | jin")
+		fields    = flag.String("fields", "", "comma-separated Hurricane fields (default all 13)")
+		steps     = flag.Int("steps", 0, "timesteps (default 48)")
+		dims      = flag.String("dims", "", "grid dims ZxYxX (default 32x64x64)")
+		bounds    = flag.String("bounds", "", "comma-separated abs bounds (default 1e-6,1e-4)")
+		schemes   = flag.String("schemes", "", "comma-separated schemes (default khan2023,jin2022,rahman2023)")
+		folds     = flag.Int("folds", 0, "cross-validation folds (default 10)")
+		workers   = flag.Int("workers", 0, "queue workers (default 4)")
+		storeDir  = flag.String("store", "", "checkpoint directory (enables restart)")
+		inSample  = flag.Bool("insample", false, "in-sample CV (paper future-work #1) instead of out-of-sample grouping")
+		target    = flag.String("target", "cr", "prediction target: cr | bandwidth (future-work #4)")
+		reps      = flag.Int("replicates", 0, "compressor-run replicates per cell for runtime targets (default 1)")
+		serve     = flag.String("serve", "", "run as a TCP observation worker on this address and block (e.g. :7777)")
+		remote    = flag.String("remote", "", "comma-separated worker endpoints to fan observation cells out to")
+		format    = flag.String("format", "table", "table2 output format: table | csv")
+		scatter   = flag.String("scatter", "", "emit predicted-vs-actual CSV for scheme,compressor (e.g. rahman2023,sz3)")
+		storeInfo = flag.String("store-info", "", "summarize a checkpoint directory and exit")
+		verbose   = flag.Bool("v", false, "print per-task progress")
+	)
+	flag.Parse()
+
+	if *serve != "" {
+		ln, err := bench.ServeWorker(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "predict-bench: worker listening on %s\n", ln.Addr())
+		select {} // serve until killed
+	}
+
+	spec := &bench.Spec{
+		Steps:      *steps,
+		Folds:      *folds,
+		Workers:    *workers,
+		StoreDir:   *storeDir,
+		InSample:   *inSample,
+		Target:     *target,
+		Replicates: *reps,
+	}
+	if *remote != "" {
+		spec.RemoteWorkers = cliutil.ParseList(*remote)
+	}
+	if *fields != "" {
+		spec.Fields = cliutil.ParseList(*fields)
+	}
+	if *schemes != "" {
+		spec.Schemes = cliutil.ParseList(*schemes)
+	}
+	if *dims != "" {
+		d, err := cliutil.ParseDims(*dims)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Dims = d
+	}
+	if *bounds != "" {
+		b, err := cliutil.ParseBounds(*bounds)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Bounds = b
+	}
+	if *verbose {
+		spec.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	switch {
+	case *storeInfo != "":
+		out, err := bench.StoreInfo(*storeInfo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case *scatter != "":
+		parts := cliutil.ParseList(*scatter)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-scatter wants scheme,compressor"))
+		}
+		obs, err := bench.Collect(spec)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := bench.Scatter(spec, parts[0], parts[1], obs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case *baseline:
+		out, err := bench.BaselineOnly(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case *ablation == "svd":
+		out, err := bench.AblationSVD(spec, 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case *ablation == "jin":
+		out, err := bench.AblationJin(spec, 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case *ablation != "":
+		fatal(fmt.Errorf("unknown ablation %q (want svd or jin)", *ablation))
+	default:
+		_ = table2 // the default action
+		report, err := bench.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if *format == "csv" {
+			fmt.Print(report.CSV())
+		} else {
+			fmt.Print(report.Table2())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predict-bench:", err)
+	os.Exit(1)
+}

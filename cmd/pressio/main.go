@@ -1,0 +1,106 @@
+// Command pressio compresses and decompresses a single buffer with any
+// registered compressor and reports size, error, and timing metrics — the
+// Go analogue of the LibPressio command-line tool, and the quickest way
+// to poke at the compressor substrates.
+//
+// Usage:
+//
+//	pressio -compressor sz3 -abs 1e-4 -field P -step 0 -dims 32x64x64
+//	pressio -compressor zfp -abs 1e-3 -input data_64x64x32.f32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+
+	_ "repro/internal/compressor/lossless"
+	_ "repro/internal/compressor/sz3"
+	_ "repro/internal/compressor/szx"
+	_ "repro/internal/compressor/zfp"
+	"repro/internal/dataset"
+	"repro/internal/hurricane"
+	_ "repro/internal/metrics"
+	"repro/internal/pressio"
+)
+
+func main() {
+	var (
+		compressor = flag.String("compressor", "sz3", "compressor plugin: "+strings.Join(pressio.CompressorNames(), ", "))
+		abs        = flag.Float64("abs", 1e-4, "absolute error bound (pressio:abs)")
+		input      = flag.String("input", "", "input file (.f32/.f64 with _DxDxD name suffix, or .pdat)")
+		field      = flag.String("field", "P", "synthetic Hurricane field (when -input is empty)")
+		step       = flag.Int("step", 0, "synthetic Hurricane timestep")
+		dims       = flag.String("dims", "32x64x64", "synthetic grid dims, ZxYxX")
+	)
+	flag.Parse()
+
+	data, name, err := loadInput(*input, *field, *step, *dims)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pressio:", err)
+		os.Exit(1)
+	}
+
+	comp, err := pressio.GetCompressor(*compressor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pressio:", err)
+		os.Exit(1)
+	}
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, *abs)
+	group, err := pressio.NewMetricsGroup(comp, "size", "error_stat")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pressio:", err)
+		os.Exit(1)
+	}
+	if err := group.SetOptions(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "pressio:", err)
+		os.Exit(1)
+	}
+
+	compressed, err := group.Compress(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pressio: compress:", err)
+		os.Exit(1)
+	}
+	out := pressio.New(data.DType(), data.Dims()...)
+	if err := group.Decompress(compressed, out); err != nil {
+		fmt.Fprintln(os.Stderr, "pressio: decompress:", err)
+		os.Exit(1)
+	}
+
+	results := group.Results()
+	fmt.Printf("input:      %s (%s, dims %v, %d bytes)\n", name, data.DType(), data.Dims(), data.ByteSize())
+	fmt.Printf("compressor: %s  abs=%g\n", *compressor, *abs)
+	for _, key := range []string{
+		"size:compressed", "size:compression_ratio", "size:bit_rate",
+		"error_stat:max_error", "error_stat:psnr",
+		"time:compress", "time:decompress",
+	} {
+		if v, ok := results.GetFloat(key); ok {
+			fmt.Printf("%-26s %.6g\n", key, v)
+		} else if v, ok := results.GetInt(key); ok {
+			fmt.Printf("%-26s %d\n", key, v)
+		}
+	}
+}
+
+func loadInput(input, field string, step int, dimStr string) (*pressio.Data, string, error) {
+	if input != "" {
+		meta, err := dataset.FileMetadata(input)
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := dataset.LoadFile(meta)
+		return d, meta.Name, err
+	}
+	dims, err := cliutil.ParseDims(dimStr)
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := hurricane.Field(field, step, dims)
+	return d, fmt.Sprintf("hurricane/%s.t%02d", field, step), err
+}

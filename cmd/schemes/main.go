@@ -1,0 +1,62 @@
+// Command schemes introspects the prediction-scheme registry: it lists
+// every registered scheme with its metrics, features, and supported
+// compressors, and regenerates the paper's Table 1 taxonomy.
+//
+// Usage:
+//
+//	schemes            # detailed registry listing
+//	schemes -table1    # the Table-1 reproduction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	_ "repro/internal/compressor/lossless"
+	_ "repro/internal/compressor/sz3"
+	_ "repro/internal/compressor/szx"
+	_ "repro/internal/compressor/zfp"
+	"repro/internal/core"
+	_ "repro/internal/metrics"
+	_ "repro/internal/predictors"
+	"repro/internal/pressio"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print the Table-1 taxonomy and exit")
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(bench.Table1())
+		return
+	}
+
+	for _, name := range core.SchemeNames() {
+		s, err := core.GetScheme(name)
+		if err != nil {
+			continue
+		}
+		info := s.Info()
+		if info.Method == "" {
+			continue
+		}
+		var supported []string
+		for _, comp := range pressio.CompressorNames() {
+			if s.Supports(comp) {
+				supported = append(supported, comp)
+			}
+		}
+		fmt.Printf("%s (%s)\n", name, info.Method)
+		fmt.Printf("  approach:    %s (%s)\n", info.Approach, info.Goal)
+		fmt.Printf("  metrics:     %s\n", strings.Join(s.Metrics(), ", "))
+		fmt.Printf("  features:    %s\n", strings.Join(s.Features(), ", "))
+		fmt.Printf("  target:      %s\n", s.Target())
+		fmt.Printf("  compressors: %s\n", strings.Join(supported, ", "))
+		if info.Features != "" {
+			fmt.Printf("  extras:      %s\n", info.Features)
+		}
+		fmt.Println()
+	}
+}

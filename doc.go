@@ -1,0 +1,21 @@
+// Package repro is a pure-Go reproduction of "LibPressio-Predict:
+// Flexible and Fast Infrastructure For Inferring Compression Performance"
+// (SC-W 2023).
+//
+// The root package carries the repository-level benchmark harness
+// (bench_test.go — one benchmark per table and figure of the paper) and
+// integration tests; the implementation lives under internal/:
+//
+//   - internal/pressio: LibPressio core (data, options, plugins)
+//   - internal/compressor/{sz3,zfp,szx,lossless}: compressor substrates
+//   - internal/dataset, internal/hurricane: the Figure-2 loading pipeline
+//     and the synthetic Hurricane Isabel stand-in
+//   - internal/core, internal/metrics, internal/predictors: the paper's
+//     contribution — libpressio-predict — and the ported schemes
+//   - internal/bench, internal/queue, internal/store, internal/opthash:
+//     libpressio-predict-bench with its scheduling and checkpointing
+//   - internal/stats, internal/mlkit: statistics and model substrates
+//
+// See DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package repro

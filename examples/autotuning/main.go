@@ -1,0 +1,82 @@
+// Auto-tuning: the OptZConfig / FRaZ use case (paper §2.1) — find the
+// error bound that achieves a target compression ratio. Each probe of the
+// search uses a prediction instead of a compressor run; invalidations let
+// the error-agnostic metrics be computed once and reused across all
+// probes, which is where the speedup over repeated compression comes from
+// (paper §6).
+//
+// Run with: go run ./examples/autotuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	_ "repro/internal/compressor/sz3"
+	"repro/internal/core"
+	"repro/internal/hurricane"
+	_ "repro/internal/metrics"
+	_ "repro/internal/predictors"
+	"repro/internal/pressio"
+)
+
+func main() {
+	const targetCR = 6.0
+	data, err := hurricane.Field("QVAPOR", 24, []int{16, 48, 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuning sz3 abs bound for CR >= %.1f on QVAPOR (%d values)\n\n", targetCR, data.Len())
+
+	session, err := core.NewSession("jin2022", "sz3")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// bisection on log10(abs) driven by predictions
+	lo, hi := -8.0, -1.0 // log10 bounds
+	var probes int
+	start := time.Now()
+	var chosen float64
+	for i := 0; i < 20 && hi-lo > 0.05; i++ {
+		mid := (lo + hi) / 2
+		bound := math.Pow(10, mid)
+		opts := pressio.Options{}
+		opts.Set(pressio.OptAbs, bound)
+		if err := session.SetOptions(opts); err != nil {
+			log.Fatal(err)
+		}
+		// only the error-dependent metrics rerun on each probe
+		session.Invalidate(pressio.OptAbs, pressio.InvalidateErrorDependent)
+		cr, _, err := session.Predict(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		probes++
+		fmt.Printf("probe %2d: abs=%.3e  predicted CR=%.2f\n", probes, bound, cr)
+		if cr >= targetCR {
+			chosen = bound
+			hi = mid // try a tighter bound
+		} else {
+			lo = mid // need a looser bound
+		}
+	}
+	searchMS := time.Since(start).Seconds() * 1e3
+	if chosen == 0 {
+		chosen = math.Pow(10, hi)
+	}
+
+	// validate the chosen configuration with one real run
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, chosen)
+	actual, compressMS, _, err := core.ObserveTarget("sz3", data, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchosen abs=%.3e after %d predicted probes in %.1f ms\n", chosen, probes, searchMS)
+	fmt.Printf("actual CR at chosen bound: %.2f (target %.1f)\n", actual, targetCR)
+	fmt.Printf("one real compression takes %.1f ms — a trial-based search would have\n", compressMS)
+	fmt.Printf("cost ~%d compressor runs (~%.0f ms) for the same sweep\n", probes, float64(probes)*compressMS)
+}

@@ -1,0 +1,108 @@
+// Compressor selection: the earliest application of compression-ratio
+// prediction (Tao 2019, paper §2.1) — choose the best-performing
+// compressor for each buffer from predictions instead of running every
+// candidate. The predictions only need to preserve the *ranking*; this
+// example measures exactly that: how often the predicted winner matches
+// the true winner, and how much compression is lost when it does not.
+//
+// Run with: go run ./examples/compressor_selection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	_ "repro/internal/compressor/lossless"
+	_ "repro/internal/compressor/sz3"
+	_ "repro/internal/compressor/szx"
+	_ "repro/internal/compressor/zfp"
+	"repro/internal/core"
+	"repro/internal/hurricane"
+	_ "repro/internal/metrics"
+	"repro/internal/predictors"
+	"repro/internal/pressio"
+)
+
+func main() {
+	candidates := []string{"sz3", "zfp", "szx"}
+	dims := []int{12, 32, 32}
+	const abs = 1e-3
+
+	fmt.Printf("selecting among %v with khan2023 predictions (abs=%g)\n\n", candidates, abs)
+	fmt.Printf("%-10s %-28s %-10s %-10s %-8s\n", "field", "predicted CRs", "picked", "best", "ok")
+
+	agree := 0
+	var lostRatio float64
+	fields := hurricane.FieldNames
+	for _, field := range fields {
+		data, err := hurricane.Field(field, 24, dims)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// predict a CR per candidate (no compressor is run)
+		predicted := map[string]float64{}
+		for _, comp := range candidates {
+			session, err := core.NewSession("khan2023", comp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts := pressio.Options{}
+			opts.Set(pressio.OptAbs, abs)
+			opts.Set(predictors.OptKhanCompressor, comp)
+			if err := session.SetOptions(opts); err != nil {
+				log.Fatal(err)
+			}
+			cr, _, err := session.Predict(data)
+			if err != nil {
+				log.Fatal(err)
+			}
+			predicted[comp] = cr
+		}
+		picked := argmax(predicted)
+
+		// ground truth: run them all
+		actual := map[string]float64{}
+		opts := pressio.Options{}
+		opts.Set(pressio.OptAbs, abs)
+		for _, comp := range candidates {
+			cr, _, _, err := core.ObserveTarget(comp, data, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			actual[comp] = cr
+		}
+		best := argmax(actual)
+
+		ok := "yes"
+		if picked != best {
+			ok = "NO"
+			lostRatio += (actual[best] - actual[picked]) / actual[best]
+		} else {
+			agree++
+		}
+		fmt.Printf("%-10s %-28s %-10s %-10s %-8s\n",
+			field,
+			fmt.Sprintf("sz3=%.1f zfp=%.1f szx=%.1f", predicted["sz3"], predicted["zfp"], predicted["szx"]),
+			picked, best, ok)
+	}
+
+	fmt.Printf("\npicked the true winner on %d/%d fields", agree, len(fields))
+	if agree < len(fields) {
+		fmt.Printf("; mean CR loss on misses %.1f%%", 100*lostRatio/float64(len(fields)-agree))
+	}
+	fmt.Println()
+	fmt.Println("ranking preservation is all this use case needs (paper §2.1)")
+}
+
+func argmax(m map[string]float64) string {
+	best := ""
+	bestV := -1.0
+	for _, k := range []string{"sz3", "zfp", "szx"} {
+		if v, ok := m[k]; ok && v > bestV {
+			bestV = v
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,84 @@
+// Quickstart: the paper's Figure-4 inference flow in Go.
+//
+// A user picks a prediction scheme from the registry, obtains a predictor
+// for a compressor, declares which settings changed (invalidations),
+// evaluates only the stale metrics, and predicts the compression ratio —
+// then compares against the truth from actually running the compressor.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	_ "repro/internal/compressor/sz3"
+	_ "repro/internal/compressor/zfp"
+	"repro/internal/core"
+	"repro/internal/hurricane"
+	_ "repro/internal/metrics"
+	_ "repro/internal/predictors"
+	"repro/internal/pressio"
+)
+
+func main() {
+	// 1. get a scheme from the registry and a predictor for sz3
+	session, err := core.NewSession("jin2022", "sz3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheme %s (%s), predictor %s\n",
+		session.Scheme.Name(), session.Scheme.Info().Method, session.Predictor.Name())
+
+	// 2. configure the compressor and metrics
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, 1e-4)
+	if err := session.SetOptions(opts); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. load a data buffer (one synthetic Hurricane field)
+	data, err := hurricane.Field("TC", 24, []int{16, 48, 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. predict: stale metrics are evaluated, cached ones reused
+	predicted, ev, err := session.Predict(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated metrics: %v (error-dependent %.2f ms)\n",
+		ev.Recomputed, ev.ErrorDependentMS)
+	fmt.Printf("predicted CR:      %.3f\n", predicted)
+
+	// 5. the truth, from actually running the compressor
+	actual, compressMS, _, err := core.ObserveTarget("sz3", data, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("actual CR:         %.3f (compression took %.2f ms)\n", actual, compressMS)
+	fmt.Printf("relative error:    %.1f%%\n", 100*abs(predicted-actual)/actual)
+
+	// 6. change the error bound, invalidate, and predict again — only
+	// the error-dependent metrics are recomputed
+	opts.Set(pressio.OptAbs, 1e-6)
+	if err := session.SetOptions(opts); err != nil {
+		log.Fatal(err)
+	}
+	stale := session.Invalidate(pressio.OptAbs, pressio.InvalidateErrorDependent)
+	fmt.Printf("\nafter tightening the bound to 1e-6, stale metrics: %v\n", stale)
+	predicted, _, err = session.Predict(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual, _, _, _ = core.ObserveTarget("sz3", data, opts)
+	fmt.Printf("predicted %.3f vs actual %.3f\n", predicted, actual)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

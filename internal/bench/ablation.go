@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/hurricane"
+	"repro/internal/predictors"
+	"repro/internal/pressio"
+	"repro/internal/stats"
+)
+
+// AblationSVD reproduces the §6 discussion of Underwood 2023: its
+// error-dependent metric (quantized entropy) is cheap, but the
+// error-agnostic SVD truncation precompute dominates (the paper reports
+// ~43 ms vs ~771 ms), making the scheme best when one evaluation
+// amortizes over many predictions. Returns a small report of the two
+// stage costs measured on `reps` fields.
+func AblationSVD(spec *Spec, reps int) (string, error) {
+	spec.defaults()
+	if reps <= 0 {
+		reps = 8
+	}
+	var svdMS, qentMS []float64
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, spec.Bounds[0])
+	for i := 0; i < reps; i++ {
+		field := spec.Fields[i%len(spec.Fields)]
+		data, err := hurricane.Field(field, i%spec.Steps, spec.Dims)
+		if err != nil {
+			return "", err
+		}
+		svd, err := pressio.GetMetric("svd_trunc")
+		if err != nil {
+			return "", err
+		}
+		start := time.Now()
+		svd.BeginCompress(data)
+		svdMS = append(svdMS, time.Since(start).Seconds()*1e3)
+
+		qent, err := pressio.GetMetric("quantized_entropy")
+		if err != nil {
+			return "", err
+		}
+		if err := qent.SetOptions(opts); err != nil {
+			return "", err
+		}
+		start = time.Now()
+		qent.BeginCompress(data)
+		qentMS = append(qentMS, time.Since(start).Seconds()*1e3)
+	}
+	svdStat := summarize(svdMS)
+	qentStat := summarize(qentMS)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Underwood 2023 stage-cost ablation (dims %v, %d reps)\n", spec.Dims, reps)
+	fmt.Fprintf(&b, "  error-dependent (quantized entropy): %s ms\n", fmtMS(qentStat))
+	fmt.Fprintf(&b, "  error-agnostic  (SVD truncation):    %s ms\n", fmtMS(svdStat))
+	fmt.Fprintf(&b, "  ratio: %.1fx — the SVD precompute dominates; suited to amortized use\n",
+		svdStat.Mean/qentStat.Mean)
+	return b.String(), nil
+}
+
+// AblationJin reproduces the §6 iterator finding: the Jin model's
+// error-dependent time exceeds the compressor's own runtime because of
+// per-element overhead in the multi-dimensional iterator (shared-pointer
+// churn in the profiled C++; per-step allocation here), and the optimized
+// iterator closes the gap. Returns the three timings on `reps` fields.
+func AblationJin(spec *Spec, reps int) (string, error) {
+	spec.defaults()
+	if reps <= 0 {
+		reps = 8
+	}
+	var naiveMS, fastMS, compressMS []float64
+	for i := 0; i < reps; i++ {
+		field := spec.Fields[i%len(spec.Fields)]
+		data, err := hurricane.Field(field, i%spec.Steps, spec.Dims)
+		if err != nil {
+			return "", err
+		}
+		opts := pressio.Options{}
+		opts.Set(pressio.OptAbs, spec.Bounds[0])
+
+		naive, err := pressio.GetMetric("jin_model")
+		if err != nil {
+			return "", err
+		}
+		if err := naive.SetOptions(opts); err != nil {
+			return "", err
+		}
+		start := time.Now()
+		naive.BeginCompress(data)
+		naiveMS = append(naiveMS, time.Since(start).Seconds()*1e3)
+
+		fast, err := pressio.GetMetric("jin_model")
+		if err != nil {
+			return "", err
+		}
+		fastOpts := opts.Clone()
+		fastOpts.Set(predictors.OptJinFastIterator, true)
+		if err := fast.SetOptions(fastOpts); err != nil {
+			return "", err
+		}
+		start = time.Now()
+		fast.BeginCompress(data)
+		fastMS = append(fastMS, time.Since(start).Seconds()*1e3)
+
+		comp, err := pressio.GetCompressor("sz3")
+		if err != nil {
+			return "", err
+		}
+		if err := comp.SetOptions(opts); err != nil {
+			return "", err
+		}
+		start = time.Now()
+		if _, err := comp.Compress(data); err != nil {
+			return "", err
+		}
+		compressMS = append(compressMS, time.Since(start).Seconds()*1e3)
+	}
+	n := summarize(naiveMS)
+	f := summarize(fastMS)
+	c := summarize(compressMS)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Jin 2022 iterator ablation (dims %v, %d reps)\n", spec.Dims, reps)
+	fmt.Fprintf(&b, "  jin_model, naive iterator:     %s ms (%.2fx of compression)\n", fmtMS(n), n.Mean/c.Mean)
+	fmt.Fprintf(&b, "  jin_model, optimized iterator: %s ms (%.2fx of compression)\n", fmtMS(f), f.Mean/c.Mean)
+	fmt.Fprintf(&b, "  sz3 compression:               %s ms\n", fmtMS(c))
+	fmt.Fprintf(&b, "  iterator overhead: %.2fx — the §6 profiling finding; the optimized\n", n.Mean/f.Mean)
+	fmt.Fprintf(&b, "  path is the paper's future-work item (3)\n")
+	return b.String(), nil
+}
+
+// BaselineOnly measures just the compressor baseline rows of Table 2.
+func BaselineOnly(spec *Spec) (string, error) {
+	spec.defaults()
+	var b bytes.Buffer
+	for _, compressor := range spec.Compressors {
+		var cms, dms, crs []float64
+		for i, field := range spec.Fields {
+			data, err := hurricane.Field(field, i%spec.Steps, spec.Dims)
+			if err != nil {
+				return "", err
+			}
+			opts := pressio.Options{}
+			opts.Set(pressio.OptAbs, spec.Bounds[0])
+			cr, c, d, err := func() (float64, float64, float64, error) {
+				cr, c, d, err := observeBaseline(compressor, data, opts)
+				return cr, c, d, err
+			}()
+			if err != nil {
+				return "", err
+			}
+			cms = append(cms, c)
+			dms = append(dms, d)
+			crs = append(crs, cr)
+		}
+		fmt.Fprintf(&b, "%-10s compress %s ms   decompress %s ms   mean CR %.2f\n",
+			compressor, fmtMS(summarize(cms)), fmtMS(summarize(dms)), stats.Mean(crs))
+	}
+	return b.String(), nil
+}
+
+func observeBaseline(compressor string, data *pressio.Data, opts pressio.Options) (cr, cms, dms float64, err error) {
+	comp, err := pressio.GetCompressor(compressor)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := comp.SetOptions(opts); err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	compressed, err := comp.Compress(data)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cms = time.Since(start).Seconds() * 1e3
+	out := pressio.New(data.DType(), data.Dims()...)
+	start = time.Now()
+	if err := comp.Decompress(compressed, out); err != nil {
+		return 0, 0, 0, err
+	}
+	dms = time.Since(start).Seconds() * 1e3
+	return float64(data.ByteSize()) / float64(compressed.ByteSize()), cms, dms, nil
+}

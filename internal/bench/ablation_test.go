@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablationSpec() *Spec {
+	return &Spec{
+		Fields: []string{"P", "U"},
+		Steps:  2,
+		Dims:   []int{4, 12, 12},
+		Bounds: []float64{1e-3},
+	}
+}
+
+func TestAblationSVD(t *testing.T) {
+	out, err := AblationSVD(ablationSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"SVD truncation", "quantized entropy", "ratio"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("ablation output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestAblationJin(t *testing.T) {
+	out, err := AblationJin(ablationSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"naive iterator", "optimized iterator", "sz3 compression", "overhead"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("ablation output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestBaselineOnly(t *testing.T) {
+	spec := ablationSpec()
+	spec.Compressors = []string{"sz3", "zfp"}
+	out, err := BaselineOnly(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sz3") || !strings.Contains(out, "zfp") {
+		t.Errorf("baseline output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "mean CR") {
+		t.Errorf("baseline should report the mean CR:\n%s", out)
+	}
+}
+
+func TestMedAPEOnly(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Fields = []string{"P", "CLOUD", "U", "W"}
+	spec.Steps = 2
+	spec.Compressors = []string{"sz3"}
+	spec.Schemes = []string{"khan2023"}
+	obs, err := Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medape, err := MedAPEOnly(spec, "khan2023", "sz3", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if medape < 0 || medape > 10000 {
+		t.Errorf("MedAPE = %v implausible", medape)
+	}
+	// unsupported pairing yields NaN
+	nan, err := MedAPEOnly(spec, "jin2022", "zfp", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nan == nan { // NaN != NaN
+		t.Errorf("unsupported pair should yield NaN, got %v", nan)
+	}
+}

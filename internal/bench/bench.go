@@ -1,0 +1,946 @@
+// Package bench is the LibPressio-Predict-Bench driver (paper §4.3): it
+// schedules metric/target observations over the distributed task queue
+// with data-locality placement, checkpoints each result into the embedded
+// store under stable option-structure hashes, and evaluates prediction
+// schemes with (group) k-fold cross-validation, producing the paper's
+// Table-2 report: per-stage times (error-dependent, error-agnostic,
+// training, fit, inference) and MedAPE per (scheme, compressor), plus the
+// compressor baselines.
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	_ "repro/internal/compressor/lossless" // register compressor plugins
+	_ "repro/internal/compressor/sz3"
+	_ "repro/internal/compressor/szx"
+	_ "repro/internal/compressor/zfp"
+	"repro/internal/core"
+	"repro/internal/hurricane"
+	_ "repro/internal/metrics" // register metric plugins
+	"repro/internal/mlkit"
+	"repro/internal/opthash"
+	"repro/internal/predictors"
+	"repro/internal/pressio"
+	"repro/internal/queue"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Spec configures a bench run. Zero values select the paper's setup
+// scaled to the synthetic dataset.
+type Spec struct {
+	// Fields of the Hurricane dataset (default: all 13).
+	Fields []string
+	// Steps is the number of timesteps (default 48).
+	Steps int
+	// Dims is the 3-D grid (default hurricane.DefaultDims).
+	Dims []int
+	// Compressors under prediction (default sz3, zfp).
+	Compressors []string
+	// Bounds are the absolute error bounds (default 1e-6 and 1e-4).
+	Bounds []float64
+	// Schemes to evaluate (default khan2023, jin2022, rahman2023 — the
+	// three the paper ports).
+	Schemes []string
+	// Folds for cross-validation (default 10).
+	Folds int
+	// Workers for the task queue (default 4).
+	Workers int
+	// StoreDir enables checkpointing when non-empty.
+	StoreDir string
+	// FailureRate injects worker faults (tests only).
+	FailureRate float64
+	// Seed drives fold assignment and failure injection.
+	Seed int64
+	// InSample switches cross-validation from the paper's out-of-sample
+	// grouping (all timesteps of a field stay together) to plain k-fold,
+	// where a field's other timesteps may appear in training — the
+	// "best-case" evaluation of the paper's future-work item (1).
+	InSample bool
+	// Target selects what schemes predict: "cr" (default, compression
+	// ratio) or "bandwidth" (compression throughput in MB/s) — the
+	// paper's future-work item (4). Bandwidth is a runtime,
+	// nondeterministic target, so pair it with Replicates > 1.
+	Target string
+	// Replicates repeats the compressor run per cell and averages the
+	// runtime observations (default 1) — the refinement nondeterministic
+	// metrics need (paper §4.2, predictors:nondeterministic).
+	Replicates int
+	// RemoteWorkers lists TCP worker endpoints (host:port) running
+	// ServeWorker; when non-empty, observation cells execute remotely
+	// with queue worker slots pinned round-robin to endpoints.
+	RemoteWorkers []string
+	// Progress, when non-nil, receives one line per completed task plus
+	// a final queue summary. It is called concurrently from worker
+	// goroutines and must be safe for concurrent use.
+	Progress func(string)
+}
+
+// Target values.
+const (
+	TargetCR        = "cr"
+	TargetBandwidth = "bandwidth"
+)
+
+func (s *Spec) defaults() {
+	if len(s.Fields) == 0 {
+		s.Fields = hurricane.FieldNames
+	}
+	if s.Steps <= 0 {
+		s.Steps = hurricane.Timesteps
+	}
+	if len(s.Dims) == 0 {
+		s.Dims = hurricane.DefaultDims
+	}
+	if len(s.Compressors) == 0 {
+		s.Compressors = []string{"sz3", "zfp"}
+	}
+	if len(s.Bounds) == 0 {
+		s.Bounds = []float64{1e-6, 1e-4}
+	}
+	if len(s.Schemes) == 0 {
+		s.Schemes = []string{"khan2023", "jin2022", "rahman2023"}
+	}
+	if s.Folds <= 0 {
+		s.Folds = 10
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Target == "" {
+		s.Target = TargetCR
+	}
+	if s.Replicates <= 0 {
+		s.Replicates = 1
+	}
+}
+
+// Observation is one checkpointable unit: every metric result and the
+// compressor target for one (field, step, bound, compressor) cell.
+type Observation struct {
+	Field      string
+	Step       int
+	Bound      float64
+	Compressor string
+
+	Features     map[string]float64
+	MetricMS     map[string]float64 // metric name → wall ms
+	CR           float64
+	CompressMS   float64 // mean over replicates
+	DecompressMS float64 // mean over replicates
+	ByteSize     int     // uncompressed bytes (for bandwidth targets)
+	Replicates   int
+}
+
+// BandwidthMBps returns the observed compression throughput.
+func (ob *Observation) BandwidthMBps() float64 {
+	if ob.CompressMS <= 0 {
+		return 0
+	}
+	return float64(ob.ByteSize) / (1 << 20) / (ob.CompressMS / 1e3)
+}
+
+// TargetValue returns the value a scheme predicts under the given target.
+func (ob *Observation) TargetValue(target string) float64 {
+	if target == TargetBandwidth {
+		return ob.BandwidthMBps()
+	}
+	return ob.CR
+}
+
+// featureMetricsFor returns the union of feature metrics the evaluated
+// schemes need for a compressor, so each cell is observed exactly once
+// even when several schemes share metrics (the reuse the paper's
+// challenge #1 asks for).
+func featureMetricsFor(schemes []string, compressor string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range schemes {
+		sch, err := core.GetScheme(name)
+		if err != nil {
+			return nil, err
+		}
+		if !sch.Supports(compressor) {
+			continue
+		}
+		for _, m := range sch.Metrics() {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// observe computes one cell: data generation, each metric (individually
+// timed), and the compressor target.
+func observe(spec *Spec, field string, step int, bound float64, compressor string, metricNames []string) (*Observation, error) {
+	data, err := hurricane.Field(field, step, spec.Dims)
+	if err != nil {
+		return nil, err
+	}
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, bound)
+	opts.Set(predictors.OptTaoCompressor, compressor)
+	opts.Set(predictors.OptKhanCompressor, compressor)
+
+	ob := &Observation{
+		Field: field, Step: step, Bound: bound, Compressor: compressor,
+		Features: map[string]float64{},
+		MetricMS: map[string]float64{},
+	}
+	for _, name := range metricNames {
+		m, err := pressio.GetMetric(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetOptions(opts); err != nil {
+			return nil, fmt.Errorf("metric %s: %w", name, err)
+		}
+		start := time.Now()
+		m.BeginCompress(data)
+		ob.MetricMS[name] = time.Since(start).Seconds() * 1e3
+		for k, v := range m.Results() {
+			switch t := v.(type) {
+			case float64:
+				ob.Features[k] = t
+			case int64:
+				ob.Features[k] = float64(t)
+			}
+		}
+	}
+	// runtime observations are nondeterministic: average over replicates
+	var cms, dms float64
+	for r := 0; r < spec.Replicates; r++ {
+		cr, c, d, err := core.ObserveTarget(compressor, data, opts)
+		if err != nil {
+			return nil, err
+		}
+		ob.CR = cr
+		cms += c
+		dms += d
+	}
+	ob.CompressMS = cms / float64(spec.Replicates)
+	ob.DecompressMS = dms / float64(spec.Replicates)
+	ob.ByteSize = data.ByteSize()
+	ob.Replicates = spec.Replicates
+	return ob, nil
+}
+
+// cellKey builds the stable checkpoint key of one cell from its
+// compressor configuration, dataset configuration, and experiment
+// metadata — the hashing scheme of §4.3.
+func cellKey(spec *Spec, field string, step int, bound float64, compressor string) string {
+	compOpts := pressio.Options{}
+	compOpts.Set("compressor", compressor)
+	compOpts.Set(pressio.OptAbs, bound)
+	dataOpts := pressio.Options{}
+	dataOpts.Set("dataset:field", field)
+	dataOpts.Set("dataset:timestep", int64(step))
+	dataOpts.Set("dataset:dims", dimsString(spec.Dims))
+	expOpts := pressio.Options{}
+	expOpts.Set("experiment", "table2")
+	expOpts.Set("replicates", int64(spec.Replicates))
+	return "cell/" + opthash.Combine(compOpts, dataOpts, expOpts)
+}
+
+func dimsString(dims []int) string {
+	s := ""
+	for i, d := range dims {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(d)
+	}
+	return s
+}
+
+func encodeObservation(ob *Observation) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ob)
+	return buf.Bytes(), err
+}
+
+func decodeObservation(b []byte) (*Observation, error) {
+	var ob Observation
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ob)
+	return &ob, err
+}
+
+// Collect runs the observation phase: every cell through the queue with
+// checkpoint skip and locality placement, returning all observations.
+func Collect(spec *Spec) ([]*Observation, error) {
+	spec.defaults()
+
+	var st *store.Store
+	if spec.StoreDir != "" {
+		var err error
+		st, err = store.Open(spec.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+	}
+
+	// restore checkpointed cells
+	completed := map[string]bool{}
+	var mu sync.Mutex
+	results := map[string]*Observation{}
+	if st != nil {
+		keys, err := st.Keys("cell/")
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			raw, ok, err := st.Get(k)
+			if err != nil || !ok {
+				continue
+			}
+			ob, err := decodeObservation(raw)
+			if err != nil {
+				continue // treat as missing; it will be recomputed
+			}
+			completed[k] = true
+			results[k] = ob
+		}
+	}
+
+	q := queue.New(queue.Config{
+		Workers:     spec.Workers,
+		Completed:   completed,
+		FailureRate: spec.FailureRate,
+		Seed:        uint64(spec.Seed),
+	})
+	var pool *remotePool
+	if len(spec.RemoteWorkers) > 0 {
+		pool = newRemotePool(spec.RemoteWorkers)
+		defer pool.close()
+	}
+	var keys []string
+	for _, compressor := range spec.Compressors {
+		metricNames, err := featureMetricsFor(spec.Schemes, compressor)
+		if err != nil {
+			return nil, err
+		}
+		for _, bound := range spec.Bounds {
+			for _, field := range spec.Fields {
+				for step := 0; step < spec.Steps; step++ {
+					key := cellKey(spec, field, step, bound, compressor)
+					keys = append(keys, key)
+					field, step, bound, compressor := field, step, bound, compressor
+					mn := metricNames
+					err := q.Add(queue.Task{
+						ID:      key,
+						DataKey: fmt.Sprintf("%s/%d", field, step),
+						Run: func(worker int) error {
+							var ob *Observation
+							var err error
+							if pool != nil {
+								ob, err = pool.observeRemote(worker, ObserveArgs{
+									Dims:        spec.Dims,
+									Replicates:  spec.Replicates,
+									Field:       field,
+									Step:        step,
+									Bound:       bound,
+									Compressor:  compressor,
+									MetricNames: mn,
+								})
+							} else {
+								ob, err = observe(spec, field, step, bound, compressor, mn)
+							}
+							if err != nil {
+								return err
+							}
+							mu.Lock()
+							results[key] = ob
+							mu.Unlock()
+							if st != nil {
+								raw, err := encodeObservation(ob)
+								if err != nil {
+									return err
+								}
+								if err := st.Put(key, raw); err != nil {
+									return err
+								}
+							}
+							if spec.Progress != nil {
+								spec.Progress(fmt.Sprintf("%s %s t%02d abs=%g cr=%.2f",
+									compressor, field, step, bound, ob.CR))
+							}
+							return nil
+						},
+					})
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	for id, r := range q.Run() {
+		if r.Err != nil {
+			return nil, fmt.Errorf("bench: task %s: %w", id, r.Err)
+		}
+	}
+	if spec.Progress != nil {
+		qs := q.Stats()
+		spec.Progress(fmt.Sprintf(
+			"queue: %d tasks (%d from checkpoint), %d retried, %d locality hits",
+			qs.Tasks, qs.Skipped, qs.Retried, qs.LocalityHits))
+	}
+	out := make([]*Observation, 0, len(keys))
+	for _, k := range keys {
+		ob, ok := results[k]
+		if !ok {
+			return nil, fmt.Errorf("bench: missing observation %s", k)
+		}
+		out = append(out, ob)
+	}
+	return out, nil
+}
+
+type meanStd struct {
+	Mean, Std float64
+	N         int
+}
+
+func summarize(xs []float64) meanStd {
+	return meanStd{Mean: stats.Mean(xs), Std: stats.Std(xs), N: len(xs)}
+}
+
+// BaselineRow is a compressor row of Table 2.
+type BaselineRow struct {
+	Compressor string
+	Compress   meanStd
+	Decompress meanStd
+}
+
+// MethodRow is a scheme row of Table 2.
+type MethodRow struct {
+	Compressor string
+	Scheme     string
+	Method     string // citation label
+
+	ErrDep      meanStd
+	HasErrDep   bool
+	ErrAgn      meanStd
+	HasErrAgn   bool
+	Training    meanStd
+	HasTraining bool
+	Fit         meanStd
+	HasFit      bool
+	Infer       meanStd
+	HasInfer    bool
+
+	MedAPE    float64
+	HasMedAPE bool
+	Supported bool
+}
+
+// Report is the full Table-2 reproduction.
+type Report struct {
+	Baselines []BaselineRow
+	Rows      []MethodRow
+}
+
+// Evaluate turns observations into the Table-2 report using group k-fold
+// cross-validation (grouped by field, the paper's out-of-sample setting).
+func Evaluate(spec *Spec, obs []*Observation) (*Report, error) {
+	spec.defaults()
+	report := &Report{}
+
+	byComp := map[string][]*Observation{}
+	for _, ob := range obs {
+		byComp[ob.Compressor] = append(byComp[ob.Compressor], ob)
+	}
+
+	for _, compressor := range spec.Compressors {
+		cobs := byComp[compressor]
+		if len(cobs) == 0 {
+			continue
+		}
+		var cms, dms []float64
+		for _, ob := range cobs {
+			cms = append(cms, ob.CompressMS)
+			dms = append(dms, ob.DecompressMS)
+		}
+		report.Baselines = append(report.Baselines, BaselineRow{
+			Compressor: compressor,
+			Compress:   summarize(cms),
+			Decompress: summarize(dms),
+		})
+
+		for _, schemeName := range spec.Schemes {
+			row, err := evaluateScheme(spec, schemeName, compressor, cobs)
+			if err != nil {
+				return nil, err
+			}
+			report.Rows = append(report.Rows, *row)
+		}
+	}
+	return report, nil
+}
+
+// Run is Collect + Evaluate.
+func Run(spec *Spec) (*Report, error) {
+	obs, err := Collect(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Evaluate(spec, obs)
+}
+
+func evaluateScheme(spec *Spec, schemeName, compressor string, cobs []*Observation) (*MethodRow, error) {
+	scheme, err := core.GetScheme(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	row := &MethodRow{
+		Compressor: compressor,
+		Scheme:     schemeName,
+		Method:     scheme.Info().Method,
+	}
+	if !scheme.Supports(compressor) {
+		return row, nil // all N/A, like zfp sian in Table 2
+	}
+	row.Supported = true
+
+	// stage times from per-metric timings
+	var errDep, errAgn []float64
+	stageByMetric := map[string]core.Stage{}
+	for _, mn := range scheme.Metrics() {
+		m, err := pressio.GetMetric(mn)
+		if err != nil {
+			return nil, err
+		}
+		stageByMetric[mn] = core.StageOf(m)
+	}
+	for _, ob := range cobs {
+		var dep, agn float64
+		hasDep, hasAgn := false, false
+		for _, mn := range scheme.Metrics() {
+			ms, ok := ob.MetricMS[mn]
+			if !ok {
+				continue
+			}
+			if stageByMetric[mn] == core.StageErrorAgnostic {
+				agn += ms
+				hasAgn = true
+			} else {
+				dep += ms
+				hasDep = true
+			}
+		}
+		if hasDep {
+			errDep = append(errDep, dep)
+		}
+		if hasAgn {
+			errAgn = append(errAgn, agn)
+		}
+	}
+	if len(errDep) > 0 {
+		row.ErrDep = summarize(errDep)
+		row.HasErrDep = true
+	}
+	if len(errAgn) > 0 {
+		row.ErrAgn = summarize(errAgn)
+		row.HasErrAgn = true
+	}
+
+	// feature matrix and targets
+	featureKeys := scheme.Features()
+	x := make([][]float64, len(cobs))
+	y := make([]float64, len(cobs))
+	groups := make([]string, len(cobs))
+	for i, ob := range cobs {
+		fv := make([]float64, len(featureKeys))
+		for j, k := range featureKeys {
+			v, ok := ob.Features[k]
+			if !ok {
+				return nil, fmt.Errorf("bench: observation %s/%d missing feature %s", ob.Field, ob.Step, k)
+			}
+			fv[j] = v
+		}
+		x[i] = fv
+		y[i] = ob.TargetValue(spec.Target)
+		groups[i] = ob.Field
+	}
+
+	pred0, err := scheme.NewPredictor(compressor)
+	if err != nil {
+		return nil, err
+	}
+
+	if !pred0.Trains() && spec.Target != TargetCR {
+		// calculation schemes compute a CR, not a bandwidth: N/A row
+		row.Supported = false
+		return row, nil
+	}
+
+	if !pred0.Trains() {
+		// calculation/trial methods: prediction is the metric value
+		preds := make([]float64, len(x))
+		for i := range x {
+			v, err := pred0.Predict(x[i])
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = v
+		}
+		row.MedAPE = stats.MedAPE(preds, y)
+		row.HasMedAPE = true
+		return row, nil
+	}
+
+	// trained schemes: cross-validation with fit/inference timed.
+	// Out-of-sample (the paper's setting) groups folds by field;
+	// in-sample (future-work #1) mixes timesteps freely.
+	var trains, tests [][]int
+	if spec.InSample {
+		trains, tests = mlkit.KFold(len(cobs), spec.Folds, spec.Seed)
+	} else {
+		trains, tests = mlkit.GroupKFold(groups, spec.Folds, spec.Seed)
+	}
+	var fitTimes, inferTimes []float64
+	var allPreds, allActuals []float64
+	var training []float64
+	for _, ob := range cobs {
+		training = append(training, ob.CompressMS)
+	}
+	row.Training = summarize(training)
+	row.HasTraining = true
+
+	for f := range trains {
+		p, err := scheme.NewPredictor(compressor)
+		if err != nil {
+			return nil, err
+		}
+		tx := make([][]float64, len(trains[f]))
+		ty := make([]float64, len(trains[f]))
+		for i, idx := range trains[f] {
+			tx[i] = x[idx]
+			ty[i] = y[idx]
+		}
+		start := time.Now()
+		if err := p.Fit(tx, ty); err != nil {
+			return nil, fmt.Errorf("bench: %s fold %d fit: %w", schemeName, f, err)
+		}
+		fitTimes = append(fitTimes, time.Since(start).Seconds()*1e3)
+		for _, idx := range tests[f] {
+			start := time.Now()
+			v, err := p.Predict(x[idx])
+			if err != nil {
+				return nil, err
+			}
+			inferTimes = append(inferTimes, time.Since(start).Seconds()*1e3)
+			allPreds = append(allPreds, v)
+			allActuals = append(allActuals, y[idx])
+		}
+	}
+	row.Fit = summarize(fitTimes)
+	row.HasFit = true
+	row.Infer = summarize(inferTimes)
+	row.HasInfer = true
+	row.MedAPE = stats.MedAPE(allPreds, allActuals)
+	row.HasMedAPE = true
+	return row, nil
+}
+
+// fmtMS renders mean ± std in Table-2 style.
+func fmtMS(m meanStd) string {
+	return fmt.Sprintf("%.3g ± %.2g", m.Mean, m.Std)
+}
+
+func orNA(has bool, m meanStd) string {
+	if !has {
+		return "N/A"
+	}
+	return fmtMS(m)
+}
+
+// Table2 renders the report as an aligned text table mirroring the
+// paper's Table 2.
+func (r *Report) Table2() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%-18s %-18s %-18s %-18s %-18s %-16s %-28s %-10s\n",
+		"method", "ErrDep (ms)", "ErrAgn (ms)", "Training (ms)", "Fit (ms)", "Inference (ms)", "Compress/Decompress (ms)", "MedAPE (%)")
+	for _, base := range r.Baselines {
+		fmt.Fprintf(&b, "%-18s %-18s %-18s %-18s %-18s %-16s %-28s %-10s\n",
+			base.Compressor, "", "", "", "", "",
+			fmt.Sprintf("%s / %s", fmtMS(base.Compress), fmtMS(base.Decompress)), "")
+		for _, row := range r.Rows {
+			if row.Compressor != base.Compressor {
+				continue
+			}
+			medape := "N/A"
+			if row.HasMedAPE {
+				medape = fmt.Sprintf("%.2f", row.MedAPE)
+			}
+			fmt.Fprintf(&b, "%-18s %-18s %-18s %-18s %-18s %-16s %-28s %-10s\n",
+				base.Compressor+" "+row.Method,
+				orNA(row.HasErrDep, row.ErrDep),
+				orNA(row.HasErrAgn, row.ErrAgn),
+				orNA(row.HasTraining, row.Training),
+				orNA(row.HasFit, row.Fit),
+				orNA(row.HasInfer, row.Infer),
+				"", medape)
+		}
+	}
+	return b.String()
+}
+
+// Table1 renders the estimation-method taxonomy (paper Table 1) from the
+// scheme registry plus the surveyed-only rows.
+func Table1() string {
+	var b bytes.Buffer
+	bool2 := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	fmt.Fprintf(&b, "%-16s %-9s %-9s %-10s %-9s %-14s %-17s %-16s\n",
+		"method", "training", "sampling", "black-box", "goal", "metrics", "approach", "features")
+	var infos []core.Info
+	for _, name := range core.SchemeNames() {
+		s, err := core.GetScheme(name)
+		if err != nil {
+			continue
+		}
+		info := s.Info()
+		if info.Method == "" {
+			continue // test fixtures
+		}
+		infos = append(infos, info)
+	}
+	infos = append(infos, predictors.SurveyedInfo()...)
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Method < infos[j].Method })
+	for _, info := range infos {
+		fmt.Fprintf(&b, "%-16s %-9s %-9s %-10s %-9s %-14s %-17s %-16s\n",
+			info.Method, bool2(info.Training), bool2(info.Sampling), info.BlackBox,
+			info.Goal, info.Metrics, info.Approach, info.Features)
+	}
+	return b.String()
+}
+
+// MedAPEOnly recomputes just the quality number for a scheme from
+// observations — used by ablation tooling.
+func MedAPEOnly(spec *Spec, schemeName, compressor string, obs []*Observation) (float64, error) {
+	var cobs []*Observation
+	for _, ob := range obs {
+		if ob.Compressor == compressor {
+			cobs = append(cobs, ob)
+		}
+	}
+	row, err := evaluateScheme(spec, schemeName, compressor, cobs)
+	if err != nil {
+		return 0, err
+	}
+	if !row.HasMedAPE {
+		return math.NaN(), nil
+	}
+	return row.MedAPE, nil
+}
+
+// CSV renders the report machine-readably (for plotting/regression
+// tracking): one row per (compressor, scheme) plus baseline rows, with
+// empty cells for N/A.
+func (r *Report) CSV() string {
+	var b bytes.Buffer
+	w := csv.NewWriter(&b)
+	w.Write([]string{
+		"compressor", "scheme", "method",
+		"errdep_ms_mean", "errdep_ms_std",
+		"erragn_ms_mean", "erragn_ms_std",
+		"training_ms_mean", "training_ms_std",
+		"fit_ms_mean", "fit_ms_std",
+		"infer_ms_mean", "infer_ms_std",
+		"compress_ms_mean", "compress_ms_std",
+		"decompress_ms_mean", "decompress_ms_std",
+		"medape_pct",
+	})
+	cell := func(has bool, v float64) string {
+		if !has {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', 6, 64)
+	}
+	for _, base := range r.Baselines {
+		w.Write([]string{
+			base.Compressor, "", "baseline",
+			"", "", "", "", "", "", "", "", "", "",
+			cell(true, base.Compress.Mean), cell(true, base.Compress.Std),
+			cell(true, base.Decompress.Mean), cell(true, base.Decompress.Std),
+			"",
+		})
+	}
+	for _, row := range r.Rows {
+		w.Write([]string{
+			row.Compressor, row.Scheme, row.Method,
+			cell(row.HasErrDep, row.ErrDep.Mean), cell(row.HasErrDep, row.ErrDep.Std),
+			cell(row.HasErrAgn, row.ErrAgn.Mean), cell(row.HasErrAgn, row.ErrAgn.Std),
+			cell(row.HasTraining, row.Training.Mean), cell(row.HasTraining, row.Training.Std),
+			cell(row.HasFit, row.Fit.Mean), cell(row.HasFit, row.Fit.Std),
+			cell(row.HasInfer, row.Infer.Mean), cell(row.HasInfer, row.Infer.Std),
+			"", "", "", "",
+			cell(row.HasMedAPE, row.MedAPE),
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Scatter renders per-cell predicted-vs-actual pairs for one (scheme,
+// compressor) as CSV — the raw data behind a prediction-quality scatter
+// plot. Trained schemes are fitted out-of-sample with the spec's fold
+// grouping first, so every point is a held-out prediction.
+func Scatter(spec *Spec, schemeName, compressor string, obs []*Observation) (string, error) {
+	spec.defaults()
+	scheme, err := core.GetScheme(schemeName)
+	if err != nil {
+		return "", err
+	}
+	if !scheme.Supports(compressor) {
+		return "", fmt.Errorf("bench: %s does not support %s", schemeName, compressor)
+	}
+	var cobs []*Observation
+	for _, ob := range obs {
+		if ob.Compressor == compressor {
+			cobs = append(cobs, ob)
+		}
+	}
+	if len(cobs) == 0 {
+		return "", fmt.Errorf("bench: no observations for %s", compressor)
+	}
+
+	featureKeys := scheme.Features()
+	x := make([][]float64, len(cobs))
+	y := make([]float64, len(cobs))
+	groups := make([]string, len(cobs))
+	for i, ob := range cobs {
+		fv := make([]float64, len(featureKeys))
+		for j, k := range featureKeys {
+			fv[j] = ob.Features[k]
+		}
+		x[i] = fv
+		y[i] = ob.TargetValue(spec.Target)
+		groups[i] = ob.Field
+	}
+
+	preds := make([]float64, len(cobs))
+	p0, err := scheme.NewPredictor(compressor)
+	if err != nil {
+		return "", err
+	}
+	if !p0.Trains() {
+		for i := range x {
+			preds[i], err = p0.Predict(x[i])
+			if err != nil {
+				return "", err
+			}
+		}
+	} else {
+		var trains, tests [][]int
+		if spec.InSample {
+			trains, tests = mlkit.KFold(len(cobs), spec.Folds, spec.Seed)
+		} else {
+			trains, tests = mlkit.GroupKFold(groups, spec.Folds, spec.Seed)
+		}
+		for f := range trains {
+			p, err := scheme.NewPredictor(compressor)
+			if err != nil {
+				return "", err
+			}
+			tx := make([][]float64, len(trains[f]))
+			ty := make([]float64, len(trains[f]))
+			for i, idx := range trains[f] {
+				tx[i] = x[idx]
+				ty[i] = y[idx]
+			}
+			if err := p.Fit(tx, ty); err != nil {
+				return "", err
+			}
+			for _, idx := range tests[f] {
+				preds[idx], err = p.Predict(x[idx])
+				if err != nil {
+					return "", err
+				}
+			}
+		}
+	}
+
+	var b bytes.Buffer
+	w := csv.NewWriter(&b)
+	w.Write([]string{"field", "step", "bound", "actual", "predicted", "ape_pct"})
+	for i, ob := range cobs {
+		ape := math.NaN()
+		if y[i] != 0 {
+			ape = math.Abs(preds[i]-y[i]) / y[i] * 100
+		}
+		w.Write([]string{
+			ob.Field,
+			strconv.Itoa(ob.Step),
+			strconv.FormatFloat(ob.Bound, 'g', -1, 64),
+			strconv.FormatFloat(y[i], 'g', 6, 64),
+			strconv.FormatFloat(preds[i], 'g', 6, 64),
+			strconv.FormatFloat(ape, 'g', 4, 64),
+		})
+	}
+	w.Flush()
+	return b.String(), nil
+}
+
+// StoreInfo summarizes a checkpoint directory: how many cells are
+// checkpointed and the store's physical state — the "what will a restart
+// skip" introspection for operators.
+func StoreInfo(dir string) (string, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return "", err
+	}
+	defer st.Close()
+	keys, err := st.Keys("cell/")
+	if err != nil {
+		return "", err
+	}
+	var byCompBound map[string]int
+	byCompBound = map[string]int{}
+	var bytes int
+	for _, k := range keys {
+		raw, ok, err := st.Get(k)
+		if err != nil || !ok {
+			continue
+		}
+		bytes += len(raw)
+		if ob, err := decodeObservation(raw); err == nil {
+			byCompBound[fmt.Sprintf("%s abs=%g", ob.Compressor, ob.Bound)]++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "checkpoint store %s\n", dir)
+	fmt.Fprintf(&b, "  cells: %d (%d KiB of observations)\n", len(keys), bytes/1024)
+	groups := make([]string, 0, len(byCompBound))
+	for g := range byCompBound {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Fprintf(&b, "  %-24s %d cells\n", g, byCompBound[g])
+	}
+	return b.String(), nil
+}

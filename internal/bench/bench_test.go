@@ -1,0 +1,440 @@
+package bench
+
+import (
+	"encoding/csv"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// tinySpec keeps tests fast: few fields, few steps, small grid.
+func tinySpec(t *testing.T) *Spec {
+	t.Helper()
+	return &Spec{
+		Fields:      []string{"P", "CLOUD", "U", "QRAIN", "TC", "W"},
+		Steps:       3,
+		Dims:        []int{4, 12, 12},
+		Compressors: []string{"sz3", "zfp"},
+		Bounds:      []float64{1e-4, 1e-2},
+		Schemes:     []string{"khan2023", "jin2022", "rahman2023"},
+		Folds:       3,
+		Workers:     4,
+		Seed:        7,
+	}
+}
+
+func TestCollectProducesAllCells(t *testing.T) {
+	spec := tinySpec(t)
+	obs, err := Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(spec.Fields) * spec.Steps * len(spec.Bounds) * len(spec.Compressors)
+	if len(obs) != want {
+		t.Fatalf("observations = %d, want %d", len(obs), want)
+	}
+	for _, ob := range obs {
+		if ob.CR < 1 {
+			t.Errorf("%s/%s: CR = %v < 1", ob.Compressor, ob.Field, ob.CR)
+		}
+		if len(ob.Features) == 0 {
+			t.Errorf("%s/%s: no features", ob.Compressor, ob.Field)
+		}
+		if ob.Compressor == "sz3" {
+			if _, ok := ob.Features["jin_model:cr"]; !ok {
+				t.Errorf("sz3 cell missing jin_model feature")
+			}
+		} else if _, ok := ob.Features["jin_model:cr"]; ok {
+			t.Errorf("zfp cell should not compute jin_model")
+		}
+	}
+}
+
+func TestRunProducesTable2Shape(t *testing.T) {
+	spec := tinySpec(t)
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Baselines) != 2 {
+		t.Fatalf("baselines = %d", len(report.Baselines))
+	}
+	if len(report.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 schemes × 2 compressors)", len(report.Rows))
+	}
+	rows := map[string]MethodRow{}
+	for _, r := range report.Rows {
+		rows[r.Compressor+"/"+r.Scheme] = r
+	}
+	// jin on zfp must be the all-N/A row like the paper
+	jz := rows["zfp/jin2022"]
+	if jz.Supported || jz.HasMedAPE {
+		t.Errorf("zfp/jin2022 should be unsupported: %+v", jz)
+	}
+	// jin on sz3: error-dependent present, no training/fit
+	js := rows["sz3/jin2022"]
+	if !js.Supported || !js.HasErrDep || js.HasFit || js.HasTraining {
+		t.Errorf("sz3/jin2022 row malformed: %+v", js)
+	}
+	// khan: error-dependent, no error-agnostic
+	ks := rows["sz3/khan2023"]
+	if !ks.HasErrDep || ks.HasErrAgn || !ks.HasMedAPE {
+		t.Errorf("sz3/khan2023 row malformed: %+v", ks)
+	}
+	// rahman: error-agnostic + training + fit + inference + MedAPE
+	rs := rows["sz3/rahman2023"]
+	if !rs.HasErrAgn || !rs.HasTraining || !rs.HasFit || !rs.HasInfer || !rs.HasMedAPE {
+		t.Errorf("sz3/rahman2023 row malformed: %+v", rs)
+	}
+	// khan's error-dependent time must be well below compression time
+	var sz3Base BaselineRow
+	for _, b := range report.Baselines {
+		if b.Compressor == "sz3" {
+			sz3Base = b
+		}
+	}
+	if ks.ErrDep.Mean >= sz3Base.Compress.Mean {
+		t.Errorf("khan error-dependent %.3fms should be below sz3 compress %.3fms",
+			ks.ErrDep.Mean, sz3Base.Compress.Mean)
+	}
+	// rendering smoke test
+	text := report.Table2()
+	for _, needle := range []string{"MedAPE", "sz3 Khan [7]", "zfp Rahman [13]", "N/A"} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("Table2 output missing %q:\n%s", needle, text)
+		}
+	}
+}
+
+func TestCheckpointRestartSkipsWork(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Fields = []string{"P", "CLOUD"}
+	spec.Steps = 2
+	spec.StoreDir = t.TempDir()
+	var ran atomic.Int64 // Progress is called from concurrent workers
+	spec.Progress = func(line string) {
+		if !strings.HasPrefix(line, "queue:") {
+			ran.Add(1) // count computed cells, not the run summary
+		}
+	}
+	if _, err := Collect(spec); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("nothing ran")
+	}
+	// second run over the same store: everything checkpointed
+	ran.Store(0)
+	obs, err := Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("restart recomputed %d cells, want 0", n)
+	}
+	want := len(spec.Fields) * spec.Steps * len(spec.Bounds) * len(spec.Compressors)
+	if len(obs) != want {
+		t.Errorf("restored %d observations, want %d", len(obs), want)
+	}
+}
+
+func TestCollectSurvivesInjectedFaults(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Fields = []string{"P", "W"}
+	spec.Steps = 2
+	spec.FailureRate = 0.2
+	obs, err := Collect(spec)
+	if err != nil {
+		t.Fatalf("fault injection should be absorbed by retries: %v", err)
+	}
+	want := 2 * 2 * len(spec.Bounds) * len(spec.Compressors)
+	if len(obs) != want {
+		t.Errorf("observations = %d, want %d", len(obs), want)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	text := Table1()
+	for _, needle := range []string{
+		"Tao [15]", "Krasowska [9]", "Underwood [17]", "Ganguli [2]",
+		"Jin [5, 6]", "Khan [7]", "Rahman [13]", "Lu [11]", "Qin [12]", "Wang [20]",
+		"counterfactuals", "bounded", "trial-based", "deep learning",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("Table1 missing %q", needle)
+		}
+	}
+	if lines := strings.Count(text, "\n"); lines < 11 {
+		t.Errorf("Table1 has %d lines, want ≥ 11 (header + 10 methods)", lines)
+	}
+}
+
+func TestEvaluateTrainedSchemesAcrossFolds(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Schemes = []string{"rahman2023", "krasowska2021"}
+	spec.Compressors = []string{"sz3"}
+	obs, err := Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Evaluate(spec, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range report.Rows {
+		if !row.HasMedAPE {
+			t.Errorf("%s: no MedAPE", row.Scheme)
+			continue
+		}
+		if row.MedAPE < 0 || row.MedAPE > 10000 {
+			t.Errorf("%s: MedAPE %.2f implausible", row.Scheme, row.MedAPE)
+		}
+		if row.Fit.Mean <= 0 {
+			t.Errorf("%s: fit time not measured", row.Scheme)
+		}
+	}
+}
+
+func TestInSampleBeatsOutOfSample(t *testing.T) {
+	// future-work #1: in-sample CV is the best case; it should not be
+	// substantially worse than out-of-sample on the same observations
+	spec := tinySpec(t)
+	spec.Schemes = []string{"rahman2023"}
+	spec.Compressors = []string{"sz3"}
+	obs, err := Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outReport, err := Evaluate(spec, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSpec := *spec
+	inSpec.InSample = true
+	inReport, err := Evaluate(&inSpec, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outAPE := outReport.Rows[0].MedAPE
+	inAPE := inReport.Rows[0].MedAPE
+	t.Logf("out-of-sample MedAPE %.2f, in-sample %.2f", outAPE, inAPE)
+	if inAPE > outAPE*1.5+5 {
+		t.Errorf("in-sample (%.2f) should not be much worse than out-of-sample (%.2f)", inAPE, outAPE)
+	}
+}
+
+func TestBandwidthTarget(t *testing.T) {
+	// future-work #4: predict compression throughput instead of CR
+	spec := tinySpec(t)
+	spec.Schemes = []string{"rahman2023", "khan2023"}
+	spec.Compressors = []string{"zfp"}
+	spec.Target = TargetBandwidth
+	spec.Replicates = 2
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]MethodRow{}
+	for _, r := range report.Rows {
+		rows[r.Scheme] = r
+	}
+	// khan computes a CR, not a bandwidth: must be N/A under this target
+	if rows["khan2023"].Supported {
+		t.Error("calculation scheme should be N/A for bandwidth target")
+	}
+	r := rows["rahman2023"]
+	if !r.Supported || !r.HasMedAPE {
+		t.Fatalf("rahman bandwidth row incomplete: %+v", r)
+	}
+	if r.MedAPE < 0 || r.MedAPE > 1000 {
+		t.Errorf("bandwidth MedAPE %.1f implausible", r.MedAPE)
+	}
+}
+
+func TestObservationBandwidth(t *testing.T) {
+	ob := &Observation{ByteSize: 2 << 20, CompressMS: 100}
+	if got := ob.BandwidthMBps(); got != 20 {
+		t.Errorf("BandwidthMBps = %v, want 20 (2 MiB in 0.1 s)", got)
+	}
+	if (&Observation{}).BandwidthMBps() != 0 {
+		t.Error("zero-time observation should report 0 bandwidth")
+	}
+	if ob.TargetValue(TargetBandwidth) != 20 {
+		t.Error("TargetValue(bandwidth) wrong")
+	}
+	ob.CR = 3
+	if ob.TargetValue(TargetCR) != 3 {
+		t.Error("TargetValue(cr) wrong")
+	}
+}
+
+func TestReplicatesAffectCellKey(t *testing.T) {
+	a := tinySpec(t)
+	b := tinySpec(t)
+	a.defaults()
+	b.Replicates = 3
+	b.defaults()
+	ka := cellKey(a, "P", 0, 1e-4, "sz3")
+	kb := cellKey(b, "P", 0, 1e-4, "sz3")
+	if ka == kb {
+		t.Error("replicate count must be part of the checkpoint key")
+	}
+}
+
+func TestRemoteWorkers(t *testing.T) {
+	// spin up two in-process TCP workers and fan the cells out to them
+	ln1, err := ServeWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	ln2, err := ServeWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+
+	spec := tinySpec(t)
+	spec.Fields = []string{"P", "CLOUD", "U"}
+	spec.Steps = 2
+	spec.Compressors = []string{"sz3"}
+	spec.RemoteWorkers = []string{ln1.Addr().String(), ln2.Addr().String()}
+	remoteObs, err := Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localSpec := *spec
+	localSpec.RemoteWorkers = nil
+	localObs, err := Collect(&localSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remoteObs) != len(localObs) {
+		t.Fatalf("remote %d vs local %d observations", len(remoteObs), len(localObs))
+	}
+	// deterministic quantities must agree exactly across processes
+	for i := range remoteObs {
+		r, l := remoteObs[i], localObs[i]
+		if r.Field != l.Field || r.Step != l.Step || r.CR != l.CR {
+			t.Errorf("cell %d differs: remote %s/%d CR=%v, local %s/%d CR=%v",
+				i, r.Field, r.Step, r.CR, l.Field, l.Step, l.CR)
+		}
+		for k, lv := range l.Features {
+			rv, ok := r.Features[k]
+			// map-iteration summation order may differ by an ULP
+			if !ok || math.Abs(rv-lv) > 1e-9*(math.Abs(lv)+1) {
+				t.Errorf("cell %d feature %s: remote %v, local %v", i, k, rv, lv)
+				break
+			}
+		}
+	}
+}
+
+func TestRemoteWorkerDown(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Fields = []string{"P"}
+	spec.Steps = 1
+	spec.Compressors = []string{"sz3"}
+	spec.RemoteWorkers = []string{"127.0.0.1:1"} // nothing listens here
+	if _, err := Collect(spec); err == nil {
+		t.Error("unreachable worker should surface an error after retries")
+	}
+}
+
+func TestWorkerPing(t *testing.T) {
+	ln, err := ServeWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	pool := newRemotePool([]string{ln.Addr().String()})
+	defer pool.close()
+	client, err := pool.client(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply string
+	if err := client.Call("WorkerService.Ping", struct{}{}, &reply); err != nil || reply != "ok" {
+		t.Errorf("Ping = %q, %v", reply, err)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Fields = []string{"P", "U", "CLOUD", "W"}
+	spec.Steps = 2
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.CSV()
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v\n%s", err, out)
+	}
+	// header + 2 baselines + 6 scheme rows
+	if len(records) != 1+2+6 {
+		t.Errorf("rows = %d, want 9", len(records))
+	}
+	if records[0][0] != "compressor" || records[0][len(records[0])-1] != "medape_pct" {
+		t.Errorf("header wrong: %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != len(records[0]) {
+			t.Errorf("ragged row: %v", rec)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Fields = []string{"P", "U", "CLOUD", "W"}
+	spec.Steps = 2
+	spec.Compressors = []string{"sz3"}
+	obs, err := Collect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"khan2023", "rahman2023"} {
+		out, err := Scatter(spec, scheme, "sz3", obs)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: CSV: %v", scheme, err)
+		}
+		want := 1 + len(spec.Fields)*spec.Steps*len(spec.Bounds)
+		if len(records) != want {
+			t.Errorf("%s: rows = %d, want %d", scheme, len(records), want)
+		}
+	}
+	if _, err := Scatter(spec, "jin2022", "zfp", obs); err == nil {
+		t.Error("unsupported pair should error")
+	}
+	if _, err := Scatter(spec, "khan2023", "lossless", obs); err == nil {
+		t.Error("compressor without observations should error")
+	}
+}
+
+func TestStoreInfo(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Fields = []string{"P", "U"}
+	spec.Steps = 2
+	spec.StoreDir = t.TempDir()
+	if _, err := Collect(spec); err != nil {
+		t.Fatal(err)
+	}
+	out, err := StoreInfo(spec.StoreDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cells: 16") { // 2 fields × 2 steps × 2 bounds × 2 compressors
+		t.Errorf("StoreInfo output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "sz3 abs=") || !strings.Contains(out, "zfp abs=") {
+		t.Errorf("StoreInfo missing per-config groups:\n%s", out)
+	}
+}

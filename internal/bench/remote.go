@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// Remote execution: predict-bench can fan observation tasks out to worker
+// processes over TCP (net/rpc), the laptop-scale analogue of the paper's
+// MPI deployment. A worker process runs ServeWorker; the driver lists the
+// workers in Spec.RemoteWorkers and the queue's locality scheduling then
+// operates across processes: each queue worker slot is pinned to one
+// remote endpoint, so tasks sharing a DataKey still land on the same
+// process and enjoy its warm caches.
+
+// ObserveArgs is the RPC request for one observation cell.
+type ObserveArgs struct {
+	Dims        []int
+	Replicates  int
+	Field       string
+	Step        int
+	Bound       float64
+	Compressor  string
+	MetricNames []string
+}
+
+// WorkerService is the RPC service workers expose.
+type WorkerService struct{}
+
+// Observe computes one cell on the worker.
+func (*WorkerService) Observe(args ObserveArgs, reply *Observation) error {
+	spec := &Spec{Dims: args.Dims, Replicates: args.Replicates}
+	spec.defaults()
+	ob, err := observe(spec, args.Field, args.Step, args.Bound, args.Compressor, args.MetricNames)
+	if err != nil {
+		return err
+	}
+	*reply = *ob
+	return nil
+}
+
+// Ping lets drivers health-check a worker.
+func (*WorkerService) Ping(_ struct{}, reply *string) error {
+	*reply = "ok"
+	return nil
+}
+
+// ServeWorker starts an RPC worker on addr (e.g. ":7777" or
+// "127.0.0.1:0") and returns the listener; close it to stop. Connections
+// are served on background goroutines.
+func ServeWorker(addr string) (net.Listener, error) {
+	srv := rpc.NewServer()
+	if err := srv.Register(&WorkerService{}); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln, nil
+}
+
+// remotePool holds one persistent RPC client per endpoint.
+type remotePool struct {
+	mu        sync.Mutex
+	endpoints []string
+	clients   map[string]*rpc.Client
+}
+
+func newRemotePool(endpoints []string) *remotePool {
+	return &remotePool{endpoints: endpoints, clients: make(map[string]*rpc.Client)}
+}
+
+// endpointFor pins queue worker slots to endpoints round-robin so the
+// queue's DataKey affinity maps onto processes.
+func (p *remotePool) endpointFor(worker int) string {
+	return p.endpoints[worker%len(p.endpoints)]
+}
+
+func (p *remotePool) client(endpoint string) (*rpc.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[endpoint]; ok {
+		return c, nil
+	}
+	c, err := rpc.Dial("tcp", endpoint)
+	if err != nil {
+		return nil, fmt.Errorf("bench: worker %s: %w", endpoint, err)
+	}
+	p.clients[endpoint] = c
+	return c, nil
+}
+
+// invalidate drops a cached client after an RPC failure so the next
+// attempt re-dials (the worker may have restarted).
+func (p *remotePool) invalidate(endpoint string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[endpoint]; ok {
+		c.Close()
+		delete(p.clients, endpoint)
+	}
+}
+
+func (p *remotePool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.clients {
+		c.Close()
+	}
+	p.clients = make(map[string]*rpc.Client)
+}
+
+// observeRemote runs one cell on the endpoint pinned to the queue worker.
+func (p *remotePool) observeRemote(worker int, args ObserveArgs) (*Observation, error) {
+	endpoint := p.endpointFor(worker)
+	client, err := p.client(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	var reply Observation
+	if err := client.Call("WorkerService.Observe", args, &reply); err != nil {
+		p.invalidate(endpoint)
+		return nil, fmt.Errorf("bench: worker %s: %w", endpoint, err)
+	}
+	return &reply, nil
+}

@@ -1,0 +1,133 @@
+// Package bitstream implements MSB-first bit-level readers and writers used
+// by the entropy-coding stages of the compressors (Huffman in sz3, embedded
+// bit-plane coding in zfp).
+//
+// Writers accumulate into a 64-bit register and spill whole bytes, which
+// keeps the per-bit cost low enough that the coding stages are not the
+// bottleneck of the compressor pipelines.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortStream is returned when a read runs past the end of the stream.
+var ErrShortStream = errors.New("bitstream: read past end of stream")
+
+// Writer appends bits MSB-first into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	acc  uint64 // pending bits, left-aligned at bit position 63-n
+	nacc uint   // number of pending bits in acc
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(bit uint64) {
+	w.WriteBits(bit&1, 1)
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d > 64", n))
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n+w.nacc >= 8 {
+		// take enough top bits of v to fill the accumulator to a byte
+		take := 8 - w.nacc
+		if take > n {
+			take = n
+		}
+		w.acc = (w.acc << take) | (v >> (n - take))
+		n -= take
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		w.nacc += take
+		if w.nacc == 8 {
+			w.buf = append(w.buf, byte(w.acc))
+			w.acc = 0
+			w.nacc = 0
+		}
+	}
+	if n > 0 {
+		w.acc = (w.acc << n) | v
+		w.nacc += n
+	}
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nacc) }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+// The writer may continue to be used; padding bits become part of the
+// stream, so call Bytes only once, when encoding is complete.
+func (w *Writer) Bytes() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc)))
+		w.acc = 0
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // next byte index
+	acc  uint64
+	nacc uint
+}
+
+// NewReader returns a Reader over buf. The slice is not copied.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint64, error) { return r.ReadBits(1) }
+
+// ReadBits reads n bits MSB-first. n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d > 64", n))
+	}
+	var out uint64
+	need := n
+	for need > 0 {
+		if r.nacc == 0 {
+			if r.pos >= len(r.buf) {
+				return 0, ErrShortStream
+			}
+			r.acc = uint64(r.buf[r.pos])
+			r.pos++
+			r.nacc = 8
+		}
+		take := need
+		if take > r.nacc {
+			take = r.nacc
+		}
+		shift := r.nacc - take
+		bits := (r.acc >> shift) & ((1 << take) - 1)
+		out = (out << take) | bits
+		r.nacc -= take
+		if r.nacc == 0 {
+			r.acc = 0
+		} else {
+			r.acc &= (1 << r.nacc) - 1
+		}
+		need -= take
+	}
+	return out, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 + int(r.nacc)
+}

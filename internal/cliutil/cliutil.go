@@ -1,0 +1,49 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// command-line tools (dims like "32x64x64", bound lists like
+// "1e-6,1e-4", field lists).
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDims parses "ZxYxX"-style dimension strings into positive ints.
+func ParseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad dims %q (want e.g. 32x64x64)", s)
+		}
+		dims[i] = n
+	}
+	return dims, nil
+}
+
+// ParseBounds parses a comma-separated list of positive floats.
+func ParseBounds(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad bound %q (want e.g. 1e-6,1e-4)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseList splits a comma-separated list, trimming whitespace and
+// dropping empty entries.
+func ParseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

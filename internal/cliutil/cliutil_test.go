@@ -1,0 +1,56 @@
+package cliutil
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	d, err := ParseDims("32x64x64")
+	if err != nil || len(d) != 3 || d[0] != 32 || d[2] != 64 {
+		t.Errorf("ParseDims = %v, %v", d, err)
+	}
+	d, err = ParseDims("100")
+	if err != nil || len(d) != 1 || d[0] != 100 {
+		t.Errorf("1-D ParseDims = %v, %v", d, err)
+	}
+	if _, err := ParseDims("4x0x4"); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := ParseDims("axb"); err == nil {
+		t.Error("letters accepted")
+	}
+	if _, err := ParseDims(""); err == nil {
+		t.Error("empty accepted")
+	}
+	d, err = ParseDims(" 8 x 16 ")
+	if err != nil || d[0] != 8 || d[1] != 16 {
+		t.Errorf("whitespace handling = %v, %v", d, err)
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	b, err := ParseBounds("1e-6,1e-4")
+	if err != nil || len(b) != 2 || b[0] != 1e-6 || b[1] != 1e-4 {
+		t.Errorf("ParseBounds = %v, %v", b, err)
+	}
+	if _, err := ParseBounds("0.1,-2"); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := ParseBounds("abc"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseBounds("1e-4,0"); err == nil {
+		t.Error("zero bound accepted")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	l := ParseList("P, CLOUD ,U")
+	if len(l) != 3 || l[0] != "P" || l[1] != "CLOUD" || l[2] != "U" {
+		t.Errorf("ParseList = %v", l)
+	}
+	if got := ParseList(""); len(got) != 0 {
+		t.Errorf("empty string should yield no entries: %v", got)
+	}
+	if got := ParseList("a,,b,"); len(got) != 2 {
+		t.Errorf("empty entries should be dropped: %v", got)
+	}
+}

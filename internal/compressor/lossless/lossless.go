@@ -1,0 +1,117 @@
+// Package lossless wraps DEFLATE as a pressio compressor plugin. It is the
+// lossless baseline of the study: the entropy bound that Shannon's theorem
+// puts on lossless coding (paper §2.2) is what the error-bounded lossy
+// compressors beat by discarding sub-tolerance information.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/pressio"
+)
+
+// OptLevel sets the DEFLATE effort level 1-9 ("lossless:level").
+const OptLevel = "lossless:level"
+
+const magic = "LSLg"
+
+// ErrCorrupt reports a malformed compressed stream.
+var ErrCorrupt = errors.New("lossless: corrupt stream")
+
+// Compressor is the lossless plugin. Use New.
+type Compressor struct {
+	level int
+}
+
+// New returns a DEFLATE compressor at the default effort level.
+func New() *Compressor { return &Compressor{level: flate.DefaultCompression} }
+
+func init() {
+	pressio.RegisterCompressor("lossless", func() pressio.Compressor { return New() })
+}
+
+// Name implements pressio.Compressor.
+func (c *Compressor) Name() string { return "lossless" }
+
+// SetOptions implements pressio.Compressor.
+func (c *Compressor) SetOptions(opts pressio.Options) error {
+	if v, ok := opts.GetInt(OptLevel); ok {
+		if v < 1 || v > 9 {
+			return fmt.Errorf("lossless: %s must be 1-9, got %d", OptLevel, v)
+		}
+		c.level = int(v)
+	}
+	return nil
+}
+
+// Options implements pressio.Compressor.
+func (c *Compressor) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set(OptLevel, int64(c.level))
+	return o
+}
+
+// Configuration implements pressio.Compressor.
+func (c *Compressor) Configuration() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.CfgThreadSafe, false)
+	o.Set(pressio.CfgStability, "stable")
+	o.Set("lossless:lossless", true)
+	return o
+}
+
+// Compress implements pressio.Compressor.
+func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
+	raw, err := in.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	body.WriteString(magic)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(raw)))
+	body.Write(lenBuf[:])
+	fw, err := flate.NewWriter(&body, c.level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return pressio.NewByte(body.Bytes()), nil
+}
+
+// Decompress implements pressio.Compressor.
+func (c *Compressor) Decompress(compressed *pressio.Data, out *pressio.Data) error {
+	buf := compressed.Bytes()
+	if len(buf) < 12 || string(buf[:4]) != magic {
+		return ErrCorrupt
+	}
+	rawLen := binary.LittleEndian.Uint64(buf[4:])
+	fr := flate.NewReader(bytes.NewReader(buf[12:]))
+	defer fr.Close()
+	raw, err := io.ReadAll(fr)
+	if err != nil || uint64(len(raw)) != rawLen {
+		return ErrCorrupt
+	}
+	var decoded pressio.Data
+	if err := decoded.UnmarshalBinary(raw); err != nil {
+		return ErrCorrupt
+	}
+	if decoded.DType() != out.DType() || decoded.Len() != out.Len() {
+		return fmt.Errorf("lossless: decoded %v/%d does not match output %v/%d",
+			decoded.DType(), decoded.Len(), out.DType(), out.Len())
+	}
+	for i := 0; i < out.Len(); i++ {
+		out.Set(i, decoded.At(i))
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package lossless
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pressio"
+)
+
+func TestRoundTripExact(t *testing.T) {
+	in := pressio.NewFloat32(32, 32)
+	for i := 0; i < in.Len(); i++ {
+		in.Set(i, math.Sin(float64(i)/10))
+	}
+	c := New()
+	compressed, err := c.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pressio.NewFloat32(32, 32)
+	if err := c.Decompress(compressed, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < in.Len(); i++ {
+		if in.At(i) != out.At(i) {
+			t.Fatalf("element %d: %v != %v (lossless must be exact)", i, in.At(i), out.At(i))
+		}
+	}
+}
+
+func TestRepetitiveDataCompresses(t *testing.T) {
+	in := pressio.NewFloat64(8192) // zeros
+	c := New()
+	compressed, err := c.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed.ByteSize() > in.ByteSize()/20 {
+		t.Errorf("zeros compressed only to %d of %d bytes", compressed.ByteSize(), in.ByteSize())
+	}
+}
+
+func TestLevelOption(t *testing.T) {
+	c := New()
+	o := pressio.Options{}
+	o.Set(OptLevel, 9)
+	if err := c.SetOptions(o); err != nil {
+		t.Fatal(err)
+	}
+	o.Set(OptLevel, 0)
+	if err := c.SetOptions(o); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if v, ok := c.Options().GetInt(OptLevel); !ok || v != 9 {
+		t.Errorf("Options level = %v, %v", v, ok)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := New()
+	in := pressio.NewFloat32(16)
+	compressed, err := c.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Decompress(compressed, pressio.NewFloat32(8)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	raw := compressed.Bytes()
+	for _, n := range []int{0, 4, 11} {
+		if err := c.Decompress(pressio.NewByte(raw[:n]), pressio.NewFloat32(16)); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if err := c.Decompress(pressio.NewByte(corrupt), pressio.NewFloat32(16)); err == nil {
+		t.Error("tail corruption accepted")
+	}
+}
+
+func TestRegisteredInPressio(t *testing.T) {
+	if _, err := pressio.GetCompressor("lossless"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package sz3 implements a pure-Go prediction-based error-bounded lossy
+// compressor in the style of SZ3: values are predicted from already
+// reconstructed neighbours (first-order Lorenzo prediction, or multi-level
+// linear interpolation), the prediction residual is quantized with
+// linear-scaling quantization against an absolute error bound, the
+// quantization codes are entropy-coded with canonical Huffman coding, and
+// the result is passed through a DEFLATE lossless stage.
+//
+// The stage structure matches the decomposition the Jin 2022 ratio-quality
+// model analyses (prediction → quantization → encoding), which is what
+// makes the prediction problem studied in the paper well-posed against
+// this implementation.
+package sz3
+
+import (
+	"math"
+)
+
+// OutlierCode is the quantization-code sentinel marking a value that could
+// not be quantized within the bin budget and is stored exactly.
+const OutlierCode = math.MaxInt32
+
+// CastFunc rounds a reconstructed value to the precision of the stored
+// dtype, so the encoder sees exactly what the decoder will produce.
+type CastFunc func(float64) float64
+
+// CastFloat32 rounds through float32 storage precision.
+func CastFloat32(x float64) float64 { return float64(float32(x)) }
+
+// CastFloat64 is the identity: float64 storage is exact.
+func CastFloat64(x float64) float64 { return x }
+
+// Quantizer performs linear-scaling quantization of prediction residuals
+// against an absolute error bound.
+type Quantizer struct {
+	Abs  float64 // absolute error bound (> 0)
+	Bins int     // quantization bin budget (codes in (-Bins/2, Bins/2))
+	Cast CastFunc
+}
+
+// Quantize encodes value against prediction. It returns the quantization
+// code (or OutlierCode) and the reconstructed value the decoder will
+// produce. For outliers the reconstruction is the cast of the original
+// value itself, so the error is zero at storage precision.
+func (q *Quantizer) Quantize(value, prediction float64) (code int32, recon float64) {
+	diff := value - prediction
+	step := 2 * q.Abs
+	c := math.Round(diff / step)
+	half := float64(q.Bins / 2)
+	if math.Abs(c) < half {
+		candidate := q.Cast(prediction + c*step)
+		if math.Abs(candidate-value) <= q.Abs {
+			return int32(c), candidate
+		}
+	}
+	return OutlierCode, q.Cast(value)
+}
+
+// Reconstruct decodes a quantization code against a prediction; outliers
+// are resolved by the caller from the exact-value stream.
+func (q *Quantizer) Reconstruct(code int32, prediction float64) float64 {
+	return q.Cast(prediction + float64(code)*2*q.Abs)
+}
+
+// lorenzoTerm is one neighbour contribution of the first-order Lorenzo
+// predictor: recon[i-offset] * sign, valid when every dimension in mask
+// has a coordinate ≥ 1.
+type lorenzoTerm struct {
+	offset int
+	sign   float64
+	mask   uint32
+}
+
+// lorenzoTerms enumerates the non-empty subsets of dimensions for dims
+// (standard n-dimensional first-order Lorenzo). Out-of-domain neighbours
+// contribute zero, as in SZ.
+func lorenzoTerms(dims []int) []lorenzoTerm {
+	nd := len(dims)
+	str := make([]int, nd)
+	acc := 1
+	for i := nd - 1; i >= 0; i-- {
+		str[i] = acc
+		acc *= dims[i]
+	}
+	var terms []lorenzoTerm
+	for s := 1; s < 1<<nd; s++ {
+		off := 0
+		bits := 0
+		for d := 0; d < nd; d++ {
+			if s&(1<<d) != 0 {
+				off += str[d]
+				bits++
+			}
+		}
+		sign := 1.0
+		if bits%2 == 0 {
+			sign = -1.0
+		}
+		terms = append(terms, lorenzoTerm{offset: off, sign: sign, mask: uint32(s)})
+	}
+	return terms
+}
+
+// PredictQuantizeLorenzo runs the Lorenzo predictor + quantizer over vals
+// (C-ordered with the given dims) and returns the quantization codes, the
+// exactly-stored outlier values, and the reconstruction. It is exported
+// (rather than private to Compress) because the Jin 2022 and Khan 2023
+// prediction schemes re-run exactly this stage to estimate the code
+// distribution without paying for the encoding stages.
+func PredictQuantizeLorenzo(vals []float64, dims []int, q *Quantizer) (codes []int32, outliers []float64, recon []float64) {
+	n := len(vals)
+	codes = make([]int32, n)
+	recon = make([]float64, n)
+	terms := lorenzoTerms(dims)
+	nd := len(dims)
+	coords := make([]int, nd)
+	// boundary mask: bit d set when coords[d] >= 1
+	var haveMask uint32
+	for i := 0; i < n; i++ {
+		var pred float64
+		for _, t := range terms {
+			if t.mask&haveMask == t.mask {
+				pred += t.sign * recon[i-t.offset]
+			}
+		}
+		code, r := q.Quantize(vals[i], pred)
+		codes[i] = code
+		recon[i] = r
+		if code == OutlierCode {
+			outliers = append(outliers, r)
+		}
+		// advance C-order coordinates and maintain haveMask
+		for d := nd - 1; d >= 0; d-- {
+			coords[d]++
+			if coords[d] == 1 {
+				haveMask |= 1 << d
+			}
+			if coords[d] < dims[d] {
+				break
+			}
+			coords[d] = 0
+			haveMask &^= 1 << d
+		}
+	}
+	return codes, outliers, recon
+}
+
+// ReconstructLorenzo inverts PredictQuantizeLorenzo given the codes and
+// outlier stream.
+func ReconstructLorenzo(codes []int32, outliers []float64, dims []int, q *Quantizer) []float64 {
+	n := len(codes)
+	recon := make([]float64, n)
+	terms := lorenzoTerms(dims)
+	nd := len(dims)
+	coords := make([]int, nd)
+	var haveMask uint32
+	oi := 0
+	for i := 0; i < n; i++ {
+		var pred float64
+		for _, t := range terms {
+			if t.mask&haveMask == t.mask {
+				pred += t.sign * recon[i-t.offset]
+			}
+		}
+		if codes[i] == OutlierCode {
+			recon[i] = q.Cast(outliers[oi])
+			oi++
+		} else {
+			recon[i] = q.Reconstruct(codes[i], pred)
+		}
+		for d := nd - 1; d >= 0; d-- {
+			coords[d]++
+			if coords[d] == 1 {
+				haveMask |= 1 << d
+			}
+			if coords[d] < dims[d] {
+				break
+			}
+			coords[d] = 0
+			haveMask &^= 1 << d
+		}
+	}
+	return recon
+}
+
+// interpOrder returns the traversal order of the multi-level linear
+// interpolation predictor over n flattened elements: index 0 first, then
+// odd multiples of each stride from coarse to fine. Every index appears
+// exactly once.
+func interpOrder(n int) []int {
+	order := make([]int, 0, n)
+	if n == 0 {
+		return order
+	}
+	order = append(order, 0)
+	maxStride := 1
+	for maxStride*2 < n {
+		maxStride *= 2
+	}
+	for s := maxStride; s >= 1; s /= 2 {
+		for i := s; i < n; i += 2 * s {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// PredictQuantizeInterp runs the multi-level linear interpolation
+// predictor + quantizer over vals flattened to 1-D. Codes and outliers are
+// in traversal order.
+func PredictQuantizeInterp(vals []float64, q *Quantizer) (codes []int32, outliers []float64, recon []float64) {
+	n := len(vals)
+	codes = make([]int32, 0, n)
+	recon = make([]float64, n)
+	done := make([]bool, n)
+	for _, i := range interpOrder(n) {
+		pred := interpPredict(recon, done, i, n)
+		code, r := q.Quantize(vals[i], pred)
+		codes = append(codes, code)
+		recon[i] = r
+		done[i] = true
+		if code == OutlierCode {
+			outliers = append(outliers, r)
+		}
+	}
+	return codes, outliers, recon
+}
+
+// interpPredict predicts element i from its already-reconstructed
+// neighbours at the current level: the midpoint of the two bracketing
+// coarse samples when both exist, else the left sample, else zero.
+func interpPredict(recon []float64, done []bool, i, n int) float64 {
+	if i == 0 {
+		return 0
+	}
+	// stride of i is its largest power-of-two divisor
+	s := i & (-i)
+	left := i - s
+	right := i + s
+	if right < n && done[right] {
+		return (recon[left] + recon[right]) / 2
+	}
+	return recon[left]
+}
+
+// ReconstructInterp inverts PredictQuantizeInterp.
+func ReconstructInterp(codes []int32, outliers []float64, n int, q *Quantizer) []float64 {
+	recon := make([]float64, n)
+	done := make([]bool, n)
+	oi := 0
+	for k, i := range interpOrder(n) {
+		pred := interpPredict(recon, done, i, n)
+		if codes[k] == OutlierCode {
+			recon[i] = q.Cast(outliers[oi])
+			oi++
+		} else {
+			recon[i] = q.Reconstruct(codes[k], pred)
+		}
+		done[i] = true
+	}
+	return recon
+}

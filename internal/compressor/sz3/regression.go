@@ -1,0 +1,266 @@
+package sz3
+
+import (
+	"math"
+)
+
+// Block-regression prediction, the hallmark predictor of SZ2 (which the
+// paper's future-work item (3) contrasts with SZ3's interpolation): the
+// domain is tiled into fixed-size blocks, each block's values are fitted
+// with a hyperplane over the grid coordinates, the (quantized)
+// coefficients are transmitted, and residuals against the hyperplane are
+// quantized like any other prediction residual. Unlike Lorenzo, the
+// predictor parameters travel with the stream, so prediction reads
+// original values — there is no reconstruction feedback loop.
+
+// regBlockEdge is the block edge length (SZ2 uses 6; 8 aligns better
+// with power-of-two dims).
+const regBlockEdge = 8
+
+// regCoeffs is one block's hyperplane: v ≈ C0 + sum_d Cd·(coord_d -
+// blockCenter_d). Stored at float32 precision in the stream.
+type regCoeffs struct {
+	c [4]float64 // intercept + up to 3 slopes (unused dims stay 0)
+}
+
+// fitBlock computes least-squares hyperplane coefficients for one block.
+// With coordinates centred per axis the normal equations are diagonal:
+// slope_d = Σ v·(x_d - x̄_d) / Σ (x_d - x̄_d)², intercept = mean.
+func fitBlock(vals []float64, dims, str, origin, size []int) regCoeffs {
+	nd := len(dims)
+	var co regCoeffs
+	n := 0
+	var sum float64
+	// centre of the block along each axis
+	var center [4]float64
+	for d := 0; d < nd; d++ {
+		center[d] = float64(size[d]-1) / 2
+	}
+	var num, den [4]float64
+	forEachInBlock(dims, str, origin, size, func(idx int, local []int) {
+		v := vals[idx]
+		sum += v
+		n++
+		for d := 0; d < nd; d++ {
+			dx := float64(local[d]) - center[d]
+			num[d] += v * dx
+			den[d] += dx * dx
+		}
+	})
+	if n == 0 {
+		return co
+	}
+	co.c[0] = sum / float64(n)
+	for d := 0; d < nd; d++ {
+		if den[d] > 0 {
+			co.c[d+1] = num[d] / den[d]
+		}
+	}
+	// storage precision: the stream carries float32 coefficients
+	for i := range co.c {
+		co.c[i] = float64(float32(co.c[i]))
+	}
+	return co
+}
+
+// predictAt evaluates a block's hyperplane at local coordinates.
+func (co regCoeffs) predictAt(local []int, size []int, nd int) float64 {
+	p := co.c[0]
+	for d := 0; d < nd; d++ {
+		p += co.c[d+1] * (float64(local[d]) - float64(size[d]-1)/2)
+	}
+	return p
+}
+
+// forEachInBlock visits every element of the block at origin with the
+// given per-axis size, passing the flat index and local coordinates.
+func forEachInBlock(dims, str, origin, size []int, f func(idx int, local []int)) {
+	nd := len(dims)
+	local := make([]int, nd)
+	for {
+		idx := 0
+		for d := 0; d < nd; d++ {
+			idx += (origin[d] + local[d]) * str[d]
+		}
+		f(idx, local)
+		d := nd - 1
+		for ; d >= 0; d-- {
+			local[d]++
+			if local[d] < size[d] {
+				break
+			}
+			local[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// regressionBlocks enumerates block origins and clamped sizes over dims.
+func regressionBlocks(dims []int, f func(origin, size []int)) {
+	nd := len(dims)
+	origin := make([]int, nd)
+	size := make([]int, nd)
+	for {
+		for d := 0; d < nd; d++ {
+			size[d] = regBlockEdge
+			if origin[d]+size[d] > dims[d] {
+				size[d] = dims[d] - origin[d]
+			}
+		}
+		f(origin, size)
+		d := nd - 1
+		for ; d >= 0; d-- {
+			origin[d] += regBlockEdge
+			if origin[d] < dims[d] {
+				break
+			}
+			origin[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// PredictQuantizeRegression runs the block-regression predictor +
+// quantizer. The returned coefficient list has one entry per block in
+// traversal order; codes and outliers follow the same order.
+func PredictQuantizeRegression(vals []float64, dims []int, q *Quantizer) (codes []int32, outliers []float64, coeffs []float64) {
+	if len(dims) > 3 {
+		dims = flattenTo3(dims)
+	}
+	nd := len(dims)
+	str := stridesOf(dims)
+	codes = make([]int32, 0, len(vals))
+	regressionBlocks(dims, func(origin, size []int) {
+		co := fitBlock(vals, dims, str, origin, size)
+		for d := 0; d <= nd; d++ {
+			coeffs = append(coeffs, co.c[d])
+		}
+		forEachInBlock(dims, str, origin, size, func(idx int, local []int) {
+			pred := co.predictAt(local, size, nd)
+			code, r := q.Quantize(vals[idx], pred)
+			codes = append(codes, code)
+			if code == OutlierCode {
+				outliers = append(outliers, r)
+			}
+		})
+	})
+	return codes, outliers, coeffs
+}
+
+// ReconstructRegression inverts PredictQuantizeRegression into a flat
+// value slice.
+func ReconstructRegression(codes []int32, outliers, coeffs []float64, dims []int, q *Quantizer) ([]float64, error) {
+	if len(dims) > 3 {
+		dims = flattenTo3(dims)
+	}
+	nd := len(dims)
+	str := stridesOf(dims)
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	out := make([]float64, total)
+	ci := 0
+	ki := 0
+	oi := 0
+	var err error
+	regressionBlocks(dims, func(origin, size []int) {
+		if err != nil {
+			return
+		}
+		if ci+nd+1 > len(coeffs) {
+			err = ErrCorrupt
+			return
+		}
+		var co regCoeffs
+		for d := 0; d <= nd; d++ {
+			co.c[d] = coeffs[ci]
+			ci++
+		}
+		forEachInBlock(dims, str, origin, size, func(idx int, local []int) {
+			if err != nil {
+				return
+			}
+			if ki >= len(codes) {
+				err = ErrCorrupt
+				return
+			}
+			code := codes[ki]
+			ki++
+			if code == OutlierCode {
+				if oi >= len(outliers) {
+					err = ErrCorrupt
+					return
+				}
+				out[idx] = q.Cast(outliers[oi])
+				oi++
+				return
+			}
+			out[idx] = q.Reconstruct(code, co.predictAt(local, size, nd))
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ki != len(codes) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// flattenTo3 folds >3-dimensional shapes into 3 dims (leading dims merge).
+func flattenTo3(dims []int) []int {
+	lead := 1
+	for _, d := range dims[:len(dims)-2] {
+		lead *= d
+	}
+	return []int{lead, dims[len(dims)-2], dims[len(dims)-1]}
+}
+
+func stridesOf(dims []int) []int {
+	str := make([]int, len(dims))
+	acc := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		str[i] = acc
+		acc *= dims[i]
+	}
+	return str
+}
+
+// regressionGain estimates, per block, how much better regression is than
+// a constant predictor — exported for stage models that want to reason
+// about SZ2-style compressors (jin/zperf counterfactuals).
+func RegressionGain(vals []float64, dims []int) float64 {
+	if len(dims) > 3 {
+		dims = flattenTo3(dims)
+	}
+	str := stridesOf(dims)
+	var ssRes, ssConst float64
+	regressionBlocks(dims, func(origin, size []int) {
+		co := fitBlock(vals, dims, str, origin, size)
+		mean := co.c[0]
+		nd := len(dims)
+		forEachInBlock(dims, str, origin, size, func(idx int, local []int) {
+			v := vals[idx]
+			r := v - co.predictAt(local, size, nd)
+			c := v - mean
+			ssRes += r * r
+			ssConst += c * c
+		})
+	})
+	if ssRes <= 0 {
+		return 60
+	}
+	gain := 10 * math.Log10(ssConst/ssRes)
+	if gain < 0 {
+		return 0
+	}
+	if gain > 60 {
+		return 60
+	}
+	return gain
+}

@@ -1,0 +1,305 @@
+package sz3
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/huffman"
+	"repro/internal/pressio"
+	"repro/internal/stats"
+)
+
+// Option keys understood by the sz3 plugin.
+const (
+	// OptPredictor selects the prediction stage: "lorenzo" (default) or
+	// "interp" ("sz3:predictor").
+	OptPredictor = "sz3:predictor"
+	// OptQuantBins sets the quantization bin budget ("sz3:quant_bins").
+	OptQuantBins = "sz3:quant_bins"
+)
+
+const (
+	magic          = "SZ3g"
+	modeLorenzo    = 0
+	modeInterp     = 1
+	modeRegression = 2
+	defaultAbs     = 1e-4
+	defaultBins    = 65536
+)
+
+// ErrCorrupt reports a malformed compressed stream.
+var ErrCorrupt = errors.New("sz3: corrupt stream")
+
+// Compressor is the sz3 plugin. The zero value is not ready; use New.
+type Compressor struct {
+	abs       float64
+	bins      int
+	predictor string
+}
+
+// New returns an sz3 compressor with default settings (abs=1e-4,
+// 65536 bins, Lorenzo prediction).
+func New() *Compressor {
+	return &Compressor{abs: defaultAbs, bins: defaultBins, predictor: "lorenzo"}
+}
+
+func init() {
+	pressio.RegisterCompressor("sz3", func() pressio.Compressor { return New() })
+}
+
+// Name implements pressio.Compressor.
+func (c *Compressor) Name() string { return "sz3" }
+
+// SetOptions implements pressio.Compressor. Unknown keys are ignored.
+func (c *Compressor) SetOptions(opts pressio.Options) error {
+	if v, ok := opts.GetFloat(pressio.OptAbs); ok {
+		if v <= 0 {
+			return fmt.Errorf("sz3: %s must be positive, got %v", pressio.OptAbs, v)
+		}
+		c.abs = v
+	}
+	if v, ok := opts.GetInt(OptQuantBins); ok {
+		if v < 4 || v > 1<<24 {
+			return fmt.Errorf("sz3: %s out of range: %d", OptQuantBins, v)
+		}
+		c.bins = int(v)
+	}
+	if v, ok := opts.GetString(OptPredictor); ok {
+		if v != "lorenzo" && v != "interp" && v != "regression" {
+			return fmt.Errorf("sz3: unknown predictor %q", v)
+		}
+		c.predictor = v
+	}
+	return nil
+}
+
+// Options implements pressio.Compressor.
+func (c *Compressor) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.OptAbs, c.abs)
+	o.Set(OptQuantBins, int64(c.bins))
+	o.Set(OptPredictor, c.predictor)
+	return o
+}
+
+// Configuration implements pressio.Compressor.
+func (c *Compressor) Configuration() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.CfgThreadSafe, false)
+	o.Set(pressio.CfgStability, "stable")
+	o.Set("sz3:stages", []string{"prediction", "quantization", "huffman", "lossless"})
+	return o
+}
+
+func castFor(t pressio.DType) (CastFunc, error) {
+	switch t {
+	case pressio.DTypeFloat32:
+		return CastFloat32, nil
+	case pressio.DTypeFloat64:
+		return CastFloat64, nil
+	}
+	return nil, fmt.Errorf("sz3: unsupported dtype %v", t)
+}
+
+// Compress implements pressio.Compressor.
+func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
+	cast, err := castFor(in.DType())
+	if err != nil {
+		return nil, err
+	}
+	vals := stats.ToFloat64(in)
+	q := &Quantizer{Abs: c.abs, Bins: c.bins, Cast: cast}
+
+	var (
+		codes    []int32
+		outliers []float64
+		coeffs   []float64
+		mode     byte
+	)
+	switch c.predictor {
+	case "interp":
+		mode = modeInterp
+		codes, outliers, _ = PredictQuantizeInterp(vals, q)
+	case "regression":
+		mode = modeRegression
+		codes, outliers, coeffs = PredictQuantizeRegression(vals, in.Dims(), q)
+	default:
+		mode = modeLorenzo
+		codes, outliers, _ = PredictQuantizeLorenzo(vals, in.Dims(), q)
+	}
+
+	coded, err := huffman.Encode(codes)
+	if err != nil {
+		return nil, err
+	}
+
+	// header
+	var head bytes.Buffer
+	head.WriteString(magic)
+	head.WriteByte(byte(in.DType()))
+	head.WriteByte(mode)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(c.abs))
+	head.Write(scratch[:])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(c.bins))
+	head.Write(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(in.Dims())))
+	head.Write(scratch[:4])
+	for _, d := range in.Dims() {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(d))
+		head.Write(scratch[:])
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(outliers)))
+	head.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(coeffs)))
+	head.Write(scratch[:])
+
+	// body: huffman stream, then outliers, then regression coefficients
+	// (float32), DEFLATE-compressed together
+	var body bytes.Buffer
+	fw, err := flate.NewWriter(&body, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(coded); err != nil {
+		return nil, err
+	}
+	for _, v := range outliers {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		if _, err := fw.Write(scratch[:]); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range coeffs {
+		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(float32(v)))
+		if _, err := fw.Write(scratch[:4]); err != nil {
+			return nil, err
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(coded)))
+	head.Write(scratch[:])
+	out := append(head.Bytes(), body.Bytes()...)
+	return pressio.NewByte(out), nil
+}
+
+// Decompress implements pressio.Compressor. out must be allocated with the
+// original dtype and dims.
+func (c *Compressor) Decompress(compressed *pressio.Data, out *pressio.Data) error {
+	buf := compressed.Bytes()
+	if len(buf) < len(magic)+2 || string(buf[:4]) != magic {
+		return ErrCorrupt
+	}
+	buf = buf[4:]
+	dtype := pressio.DType(buf[0])
+	mode := buf[1]
+	buf = buf[2:]
+	if len(buf) < 8+4+4 {
+		return ErrCorrupt
+	}
+	abs := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	buf = buf[8:]
+	bins := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	nd := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if nd < 0 || len(buf) < nd*8+24 {
+		return ErrCorrupt
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	total, err := pressio.CheckDims(dims)
+	if err != nil {
+		return fmt.Errorf("sz3: %w: %v", ErrCorrupt, err)
+	}
+	noutlier := int(binary.LittleEndian.Uint64(buf))
+	buf = buf[8:]
+	if len(buf) < 16 {
+		return ErrCorrupt
+	}
+	ncoeff := int(binary.LittleEndian.Uint64(buf))
+	buf = buf[8:]
+	codedLen := int(binary.LittleEndian.Uint64(buf))
+	buf = buf[8:]
+	if noutlier < 0 || codedLen < 0 || ncoeff < 0 {
+		return ErrCorrupt
+	}
+
+	if out.DType() != dtype {
+		return fmt.Errorf("sz3: output dtype %v does not match stream dtype %v", out.DType(), dtype)
+	}
+	if out.Len() != total {
+		return fmt.Errorf("sz3: output has %d elements, stream has %d", out.Len(), total)
+	}
+
+	fr := flate.NewReader(bytes.NewReader(buf))
+	defer fr.Close()
+	body, err := io.ReadAll(fr)
+	if err != nil {
+		return fmt.Errorf("sz3: %w: %v", ErrCorrupt, err)
+	}
+	if len(body) != codedLen+8*noutlier+4*ncoeff {
+		return ErrCorrupt
+	}
+	codes, err := huffman.Decode(body[:codedLen])
+	if err != nil {
+		return fmt.Errorf("sz3: %w: %v", ErrCorrupt, err)
+	}
+	if len(codes) != total {
+		return ErrCorrupt
+	}
+	sentinels := 0
+	for _, code := range codes {
+		if code == OutlierCode {
+			sentinels++
+		}
+	}
+	if sentinels != noutlier {
+		return ErrCorrupt
+	}
+	outliers := make([]float64, noutlier)
+	ob := body[codedLen:]
+	for i := range outliers {
+		outliers[i] = math.Float64frombits(binary.LittleEndian.Uint64(ob[8*i:]))
+	}
+	coeffs := make([]float64, ncoeff)
+	cb := body[codedLen+8*noutlier:]
+	for i := range coeffs {
+		coeffs[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(cb[4*i:])))
+	}
+
+	cast, err := castFor(dtype)
+	if err != nil {
+		return err
+	}
+	q := &Quantizer{Abs: abs, Bins: bins, Cast: cast}
+	var recon []float64
+	switch mode {
+	case modeInterp:
+		recon = ReconstructInterp(codes, outliers, total, q)
+	case modeRegression:
+		recon, err = ReconstructRegression(codes, outliers, coeffs, dims, q)
+		if err != nil {
+			return err
+		}
+	case modeLorenzo:
+		recon = ReconstructLorenzo(codes, outliers, dims, q)
+	default:
+		return ErrCorrupt
+	}
+	for i, v := range recon {
+		out.Set(i, v)
+	}
+	return nil
+}

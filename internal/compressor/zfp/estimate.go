@@ -1,0 +1,56 @@
+package zfp
+
+import (
+	"math"
+	"math/bits"
+)
+
+// EstimateBlockBits estimates the coded size in bits of one blockLen^nd
+// block at the given tolerance without running the group-testing coder —
+// the per-stage surrogate the Khan 2023 (SECRE) scheme uses for
+// transform-based compressors. The estimate counts the significant
+// negabinary planes of each transformed coefficient above the tolerance
+// cutoff plus the per-block header, with a small group-test overhead.
+func EstimateBlockBits(block []float64, nd int, tol float64) float64 {
+	if nd < 1 || nd > 3 {
+		return float64(len(block) * 32)
+	}
+	maxAbs := 0.0
+	for _, v := range block {
+		a := math.Abs(v)
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs <= tol/2 || maxAbs == 0 {
+		return 1 // empty-block flag
+	}
+	_, emax := math.Frexp(maxAbs)
+	scale := math.Ldexp(1, fracBits-emax)
+	q := make([]int64, len(block))
+	for i, v := range block {
+		q[i] = int64(math.Round(v * scale))
+	}
+	fwdXform(q, nd)
+	kmin := kminFor(tol, emax)
+	total := 1.0 + emaxBits
+	planes := 0
+	for _, v := range q {
+		u := toNegabinary(v)
+		top := bits.Len64(u)
+		if top > intPrec {
+			top = intPrec
+		}
+		if top > kmin {
+			sig := top - kmin
+			total += float64(sig)
+			if sig > planes {
+				planes = sig
+			}
+		}
+	}
+	// group-test bits: roughly one per coded plane plus one per
+	// coefficient-significance event
+	total += float64(planes) + float64(len(block))/2
+	return total
+}

@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pressio"
+)
+
+// Sampler wraps another Plugin and exposes a random subset of its entries.
+// Because selection needs only metadata, the sampler can sit at the end of
+// the Figure-2 pipeline and the upstream loaders still avoid reading the
+// payloads of unselected entries (the property §4.1 calls out).
+type Sampler struct {
+	inner Plugin
+	pick  []int // indices into inner, sorted
+	seed  int64
+	frac  float64
+}
+
+// NewSampler selects ceil(frac·N) entries of inner uniformly at random
+// without replacement, deterministically from seed.
+func NewSampler(inner Plugin, frac float64, seed int64) (*Sampler, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("sampler: fraction %v outside (0, 1]", frac)
+	}
+	n := inner.Len()
+	k := int(float64(n)*frac + 0.999999)
+	if k > n {
+		k = n
+	}
+	if k < 1 && n > 0 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:k]
+	// keep inner order for locality-friendly access
+	pick := append([]int(nil), perm...)
+	for i := 1; i < len(pick); i++ {
+		for j := i; j > 0 && pick[j] < pick[j-1]; j-- {
+			pick[j], pick[j-1] = pick[j-1], pick[j]
+		}
+	}
+	return &Sampler{inner: inner, pick: pick, seed: seed, frac: frac}, nil
+}
+
+// Name implements Plugin.
+func (s *Sampler) Name() string { return "sample" }
+
+// Len implements Plugin.
+func (s *Sampler) Len() int { return len(s.pick) }
+
+// InnerIndex maps a sampler index to the wrapped plugin's index.
+func (s *Sampler) InnerIndex(i int) int { return s.pick[i] }
+
+// LoadMetadata implements Plugin.
+func (s *Sampler) LoadMetadata(i int) (Metadata, error) {
+	if err := checkIndex(s, i); err != nil {
+		return Metadata{}, err
+	}
+	return s.inner.LoadMetadata(s.pick[i])
+}
+
+// LoadData implements Plugin.
+func (s *Sampler) LoadData(i int) (*pressio.Data, error) {
+	if err := checkIndex(s, i); err != nil {
+		return nil, err
+	}
+	return s.inner.LoadData(s.pick[i])
+}
+
+// LoadMetadataAll implements Plugin.
+func (s *Sampler) LoadMetadataAll() ([]Metadata, error) { return loadMetadataAll(s) }
+
+// LoadDataAll implements Plugin.
+func (s *Sampler) LoadDataAll() ([]*pressio.Data, error) { return loadDataAll(s) }
+
+// SetOptions implements Plugin, forwarding to the inner loader.
+func (s *Sampler) SetOptions(o pressio.Options) error { return s.inner.SetOptions(o) }
+
+// Options implements Plugin.
+func (s *Sampler) Options() pressio.Options {
+	o := s.inner.Options()
+	o.Set("sample:fraction", s.frac)
+	o.Set("sample:seed", s.seed)
+	return o
+}

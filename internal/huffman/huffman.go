@@ -1,0 +1,350 @@
+// Package huffman implements a canonical Huffman coder over integer
+// symbols. It is the entropy-coding stage of the sz3 compressor and the
+// reference implementation against which the Jin ratio-quality model's
+// Huffman-efficiency estimate is validated.
+//
+// The code table is serialized canonically (symbol, code length) so the
+// decoder can rebuild the exact codes without transmitting them; this keeps
+// the header small even for the 2^16-bin quantizer alphabets SZ-style
+// compressors use.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+)
+
+// maxCodeLen bounds code lengths; 58 leaves room in the canonical
+// construction for any realistic alphabet while fitting in a uint64 with
+// room for length counting.
+const maxCodeLen = 58
+
+var (
+	// ErrCorrupt is returned when a serialized stream fails validation.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+)
+
+type huffNode struct {
+	weight      uint64
+	symbol      int32 // valid for leaves
+	left, right *huffNode
+	order       int // tie-break for determinism
+}
+
+type nodeHeap []*huffNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// CodeLengths computes canonical Huffman code lengths for the given
+// symbol→count histogram. Symbols with zero count receive no code. The
+// result maps symbol to code length in bits.
+func CodeLengths(counts map[int32]uint64) map[int32]uint {
+	if len(counts) == 0 {
+		return map[int32]uint{}
+	}
+	if len(counts) == 1 {
+		for s := range counts {
+			return map[int32]uint{s: 1}
+		}
+	}
+	// Deterministic construction: seed the heap in sorted symbol order.
+	symbols := make([]int32, 0, len(counts))
+	for s := range counts {
+		symbols = append(symbols, s)
+	}
+	sort.Slice(symbols, func(i, j int) bool { return symbols[i] < symbols[j] })
+	h := make(nodeHeap, 0, len(symbols))
+	order := 0
+	for _, s := range symbols {
+		h = append(h, &huffNode{weight: counts[s], symbol: s, order: order})
+		order++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{weight: a.weight + b.weight, left: a, right: b, order: order})
+		order++
+	}
+	root := h[0]
+	lengths := make(map[int32]uint, len(counts))
+	var walk func(n *huffNode, depth uint)
+	walk = func(n *huffNode, depth uint) {
+		if n.left == nil && n.right == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical code values from code lengths: codes are
+// ordered by (length, symbol). Returns parallel slices sorted that way.
+func canonicalCodes(lengths map[int32]uint) (symbols []int32, lens []uint, codes []uint64, err error) {
+	symbols = make([]int32, 0, len(lengths))
+	for s := range lengths {
+		symbols = append(symbols, s)
+	}
+	sort.Slice(symbols, func(i, j int) bool {
+		li, lj := lengths[symbols[i]], lengths[symbols[j]]
+		if li != lj {
+			return li < lj
+		}
+		return symbols[i] < symbols[j]
+	})
+	lens = make([]uint, len(symbols))
+	codes = make([]uint64, len(symbols))
+	var code uint64
+	var prevLen uint
+	for i, s := range symbols {
+		l := lengths[s]
+		if l > maxCodeLen {
+			return nil, nil, nil, fmt.Errorf("huffman: code length %d exceeds max %d", l, maxCodeLen)
+		}
+		code <<= (l - prevLen)
+		codes[i] = code
+		lens[i] = l
+		code++
+		prevLen = l
+	}
+	return symbols, lens, codes, nil
+}
+
+// Encoder holds a code table built from a histogram.
+type Encoder struct {
+	codes map[int32]struct {
+		code uint64
+		len  uint
+	}
+	symbols []int32
+	lens    []uint
+}
+
+// NewEncoder builds an encoder for the histogram of the symbols to encode.
+func NewEncoder(counts map[int32]uint64) (*Encoder, error) {
+	lengths := CodeLengths(counts)
+	symbols, lens, codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	e := &Encoder{codes: make(map[int32]struct {
+		code uint64
+		len  uint
+	}, len(symbols)), symbols: symbols, lens: lens}
+	for i, s := range symbols {
+		e.codes[s] = struct {
+			code uint64
+			len  uint
+		}{codes[i], lens[i]}
+	}
+	return e, nil
+}
+
+// EncodedBitLen returns the total payload length in bits for encoding data
+// with this table (exclusive of the table header).
+func (e *Encoder) EncodedBitLen(counts map[int32]uint64) uint64 {
+	var total uint64
+	for s, c := range counts {
+		if entry, ok := e.codes[s]; ok {
+			total += c * uint64(entry.len)
+		}
+	}
+	return total
+}
+
+// Encode serializes the code table and payload for data into one buffer.
+//
+// Layout: u32 symbolCount, then per symbol (i32 symbol, u8 length) in
+// canonical order, then u64 payload element count, then the bit stream.
+func (e *Encoder) Encode(data []int32) ([]byte, error) {
+	header := make([]byte, 0, 4+5*len(e.symbols)+8)
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(e.symbols)))
+	for i, s := range e.symbols {
+		header = binary.LittleEndian.AppendUint32(header, uint32(s))
+		header = append(header, byte(e.lens[i]))
+	}
+	header = binary.LittleEndian.AppendUint64(header, uint64(len(data)))
+
+	var w bitstream.Writer
+	for _, s := range data {
+		entry, ok := e.codes[s]
+		if !ok {
+			return nil, fmt.Errorf("huffman: symbol %d not in code table", s)
+		}
+		w.WriteBits(entry.code, entry.len)
+	}
+	payload := w.Bytes()
+	out := make([]byte, 0, len(header)+8+len(payload))
+	out = append(out, header...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// Encode is a convenience that histograms data, builds the table, and
+// encodes in one call.
+func Encode(data []int32) ([]byte, error) {
+	counts := make(map[int32]uint64)
+	for _, s := range data {
+		counts[s]++
+	}
+	if len(counts) == 0 {
+		// empty stream: symbolCount=0, elementCount=0, payloadLen=0
+		out := make([]byte, 0, 20)
+		out = binary.LittleEndian.AppendUint32(out, 0)
+		out = binary.LittleEndian.AppendUint64(out, 0)
+		out = binary.LittleEndian.AppendUint64(out, 0)
+		return out, nil
+	}
+	e, err := NewEncoder(counts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Encode(data)
+}
+
+// decodeNode is a binary trie node for decoding.
+type decodeNode struct {
+	children [2]*decodeNode
+	symbol   int32
+	leaf     bool
+}
+
+// Decode parses a buffer produced by Encode and returns the symbol stream.
+func Decode(buf []byte) ([]int32, error) {
+	if len(buf) < 4 {
+		return nil, ErrCorrupt
+	}
+	nsym := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if nsym < 0 || len(buf) < nsym*5 {
+		return nil, ErrCorrupt
+	}
+	lengths := make(map[int32]uint, nsym)
+	orderedSyms := make([]int32, nsym)
+	for i := 0; i < nsym; i++ {
+		s := int32(binary.LittleEndian.Uint32(buf))
+		l := uint(buf[4])
+		buf = buf[5:]
+		if l == 0 || l > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		if _, dup := lengths[s]; dup {
+			return nil, ErrCorrupt
+		}
+		lengths[s] = l
+		orderedSyms[i] = s
+	}
+	if len(buf) < 8 {
+		return nil, ErrCorrupt
+	}
+	count := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if len(buf) < 8 {
+		return nil, ErrCorrupt
+	}
+	payloadLen := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if uint64(len(buf)) < payloadLen {
+		return nil, ErrCorrupt
+	}
+	payload := buf[:payloadLen]
+
+	if count == 0 {
+		return []int32{}, nil
+	}
+	if nsym == 0 {
+		return nil, ErrCorrupt
+	}
+
+	// Rebuild canonical codes and the decoding trie.
+	symbols, lens, codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	root := &decodeNode{}
+	for i, s := range symbols {
+		n := root
+		for bit := int(lens[i]) - 1; bit >= 0; bit-- {
+			b := (codes[i] >> uint(bit)) & 1
+			if n.leaf {
+				return nil, ErrCorrupt // prefix violation
+			}
+			if n.children[b] == nil {
+				n.children[b] = &decodeNode{}
+			}
+			n = n.children[b]
+		}
+		if n.leaf || n.children[0] != nil || n.children[1] != nil {
+			return nil, ErrCorrupt
+		}
+		n.leaf = true
+		n.symbol = s
+	}
+
+	// cap the preallocation: count comes from an untrusted header, and
+	// the loop below errors out as soon as the payload runs dry anyway
+	prealloc := count
+	if maxPre := uint64(payloadLen) * 8; prealloc > maxPre {
+		prealloc = maxPre
+	}
+	out := make([]int32, 0, prealloc)
+	r := bitstream.NewReader(payload)
+	for uint64(len(out)) < count {
+		n := root
+		for !n.leaf {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			n = n.children[b]
+			if n == nil {
+				return nil, ErrCorrupt
+			}
+		}
+		out = append(out, n.symbol)
+	}
+	return out, nil
+}
+
+// MeanCodeLength returns the average code length in bits per symbol that an
+// optimal Huffman code achieves on the histogram — the quantity the Jin
+// model estimates analytically from the code distribution.
+func MeanCodeLength(counts map[int32]uint64) float64 {
+	lengths := CodeLengths(counts)
+	var total, bits uint64
+	for s, c := range counts {
+		total += c
+		bits += c * uint64(lengths[s])
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(bits) / float64(total)
+}

@@ -1,0 +1,236 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []int32) {
+	t.Helper()
+	buf, err := Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("element %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T)  { roundTrip(t, []int32{}) }
+func TestRoundTripSingle(t *testing.T) { roundTrip(t, []int32{42}) }
+func TestRoundTripUniformSymbol(t *testing.T) {
+	roundTrip(t, []int32{7, 7, 7, 7, 7, 7, 7, 7})
+}
+func TestRoundTripNegativeSymbols(t *testing.T) {
+	roundTrip(t, []int32{-1, -2, 3, -1, 0, math.MinInt32, math.MaxInt32})
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]int32, 10000)
+	for i := range data {
+		// geometric-ish distribution like quantization codes
+		v := int32(0)
+		for rng.Float64() < 0.7 {
+			v++
+		}
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		data[i] = v
+	}
+	roundTrip(t, data)
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(data []int32) bool {
+		// narrow the alphabet so codes are exercised, not the map
+		for i := range data {
+			data[i] = data[i] % 50
+		}
+		buf, err := Encode(data)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil || len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionBeatsFixedWidth(t *testing.T) {
+	// Highly skewed data should code well below 32 bits/symbol and below
+	// the entropy+1 bound.
+	data := make([]int32, 100000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range data {
+		if rng.Float64() < 0.9 {
+			data[i] = 0
+		} else {
+			data[i] = int32(rng.Intn(16))
+		}
+	}
+	buf, err := Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsPerSym := float64(len(buf)*8) / float64(len(data))
+	if bitsPerSym > 2.0 {
+		t.Errorf("skewed data coded at %.2f bits/symbol, expected < 2", bitsPerSym)
+	}
+}
+
+func TestMeanCodeLengthWithinEntropyPlusOne(t *testing.T) {
+	counts := map[int32]uint64{0: 900, 1: 50, 2: 30, 3: 15, 4: 5}
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	var entropy float64
+	for _, c := range counts {
+		p := float64(c) / total
+		entropy -= p * math.Log2(p)
+	}
+	mean := MeanCodeLength(counts)
+	if mean < entropy || mean > entropy+1 {
+		t.Errorf("mean code length %.4f outside [H, H+1] = [%.4f, %.4f]", mean, entropy, entropy+1)
+	}
+}
+
+func TestMeanCodeLengthEmpty(t *testing.T) {
+	if MeanCodeLength(nil) != 0 {
+		t.Error("empty histogram should have zero mean code length")
+	}
+}
+
+func TestCodeLengthsKraft(t *testing.T) {
+	// Kraft equality must hold for a complete prefix code.
+	rng := rand.New(rand.NewSource(3))
+	counts := map[int32]uint64{}
+	for i := 0; i < 300; i++ {
+		counts[int32(i)] = uint64(rng.Intn(10000) + 1)
+	}
+	lengths := CodeLengths(counts)
+	var kraft float64
+	for _, l := range lengths {
+		kraft += math.Pow(2, -float64(l))
+	}
+	if math.Abs(kraft-1.0) > 1e-9 {
+		t.Errorf("Kraft sum = %v, want 1", kraft)
+	}
+}
+
+func TestCodeLengthsSingleSymbol(t *testing.T) {
+	lengths := CodeLengths(map[int32]uint64{5: 100})
+	if lengths[5] != 1 {
+		t.Errorf("single-symbol code length = %d, want 1", lengths[5])
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := []int32{1, 2, 3, 1, 2, 1, 1}
+	buf, err := Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, 10, len(buf) - 1} {
+		if n > len(buf) {
+			continue
+		}
+		if _, err := Decode(buf[:n]); err == nil {
+			t.Errorf("Decode accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestDecodeRejectsBadLengths(t *testing.T) {
+	// symbol table with a zero code length
+	buf := []byte{1, 0, 0, 0 /* nsym=1 */, 5, 0, 0, 0 /* sym=5 */, 0 /* len=0 */}
+	buf = append(buf, make([]byte, 16)...)
+	if _, err := Decode(buf); err == nil {
+		t.Error("Decode accepted zero code length")
+	}
+}
+
+func TestEncoderRejectsUnknownSymbol(t *testing.T) {
+	e, err := NewEncoder(map[int32]uint64{1: 5, 2: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Encode([]int32{1, 2, 99}); err == nil {
+		t.Error("Encode accepted symbol missing from the table")
+	}
+}
+
+func TestEncodedBitLen(t *testing.T) {
+	counts := map[int32]uint64{0: 3, 1: 1}
+	e, err := NewEncoder(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two symbols → both get 1-bit codes → 4 symbols × 1 bit
+	if got := e.EncodedBitLen(counts); got != 4 {
+		t.Errorf("EncodedBitLen = %d, want 4", got)
+	}
+}
+
+func BenchmarkEncode64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]int32, 65536)
+	for i := range data {
+		v := int32(0)
+		for rng.Float64() < 0.6 {
+			v++
+		}
+		data[i] = v
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]int32, 65536)
+	for i := range data {
+		data[i] = int32(rng.Intn(100))
+	}
+	buf, err := Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package hurricane deterministically synthesizes a dataset with the
+// structure of the Hurricane Isabel benchmark used in the paper's
+// evaluation: 13 named fields over 48 timesteps on a 3-D grid, mixing
+// smooth dense fields (pressure, temperature, winds, vapour) with sparse
+// fields that are exactly zero over most of the domain (cloud and
+// precipitation species).
+//
+// This is the substitution for the real Hurricane Isabel data (a
+// multi-gigabyte download the paper obtained from the IEEE Visualization
+// 2004 contest): the generator reproduces the properties the paper's
+// analysis leans on — per-field heterogeneity in sparsity and smoothness,
+// and temporal evolution (an intensifying, moving vortex) — which is what
+// makes out-of-sample compression-ratio prediction hard on this dataset.
+package hurricane
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pressio"
+)
+
+// Timesteps is the number of timesteps in the dataset (paper: all 48).
+const Timesteps = 48
+
+// FieldNames lists the 13 Hurricane Isabel fields (paper: all 13).
+var FieldNames = []string{
+	"CLOUD", "PRECIP", "QCLOUD", "QGRAUP", "QICE", "QRAIN",
+	"QSNOW", "QVAPOR", "P", "TC", "U", "V", "W",
+}
+
+// DefaultDims is the scaled-down grid (the original is 500×500×100; the
+// generator accepts any dims).
+var DefaultDims = []int{32, 64, 64} // z (height), y, x
+
+// IsSparse reports whether the field is one of the moisture/precipitation
+// species that are exactly zero outside convective regions.
+func IsSparse(field string) bool {
+	switch field {
+	case "CLOUD", "PRECIP", "QCLOUD", "QGRAUP", "QICE", "QRAIN", "QSNOW":
+		return true
+	}
+	return false
+}
+
+// hash64 mixes coordinates into a deterministic pseudo-random uint64
+// (splitmix64 finalizer).
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// noise01 returns a deterministic pseudo-random value in [0, 1) for an
+// integer lattice point and seed.
+func noise01(ix, iy, iz int, seed uint64) float64 {
+	h := hash64(seed ^ hash64(uint64(ix)*0x8da6b343) ^
+		hash64(uint64(iy)*0xd8163841) ^ hash64(uint64(iz)*0xcb1ab31f))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// valueNoise is trilinearly interpolated lattice noise at frequency freq,
+// giving smooth spatially-correlated fluctuations.
+func valueNoise(x, y, z float64, freq float64, seed uint64) float64 {
+	x, y, z = x*freq, y*freq, z*freq
+	ix, iy, iz := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	fx, fy, fz := x-float64(ix), y-float64(iy), z-float64(iz)
+	// smoothstep fade
+	fx = fx * fx * (3 - 2*fx)
+	fy = fy * fy * (3 - 2*fy)
+	fz = fz * fz * (3 - 2*fz)
+	var c [2][2][2]float64
+	for dz := 0; dz < 2; dz++ {
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				c[dz][dy][dx] = noise01(ix+dx, iy+dy, iz+dz, seed)
+			}
+		}
+	}
+	lerp := func(a, b, t float64) float64 { return a + (b-a)*t }
+	x00 := lerp(c[0][0][0], c[0][0][1], fx)
+	x01 := lerp(c[0][1][0], c[0][1][1], fx)
+	x10 := lerp(c[1][0][0], c[1][0][1], fx)
+	x11 := lerp(c[1][1][0], c[1][1][1], fx)
+	y0 := lerp(x00, x01, fy)
+	y1 := lerp(x10, x11, fy)
+	return lerp(y0, y1, fz) // in [0,1)
+}
+
+// fbm sums three octaves of value noise, returning roughly [-1, 1].
+func fbm(x, y, z float64, seed uint64) float64 {
+	v := 0.0
+	amp := 0.5
+	freq := 4.0
+	for o := 0; o < 3; o++ {
+		v += amp * (2*valueNoise(x, y, z, freq, seed+uint64(o)*7919) - 1)
+		amp /= 2
+		freq *= 2
+	}
+	return v
+}
+
+// storm describes the vortex at a timestep: the hurricane track moves
+// diagonally across the domain while intensifying and then weakening.
+type storm struct {
+	cx, cy    float64 // eye position in unit coordinates
+	intensity float64 // 0..1
+	eyeRadius float64 // unit coordinates
+}
+
+func stormAt(step int) storm {
+	t := float64(step) / float64(Timesteps-1)
+	return storm{
+		cx:        0.25 + 0.5*t,
+		cy:        0.70 - 0.4*t,
+		intensity: 0.4 + 0.6*math.Sin(math.Pi*t), // builds then decays
+		eyeRadius: 0.08 + 0.02*math.Cos(2*math.Pi*t),
+	}
+}
+
+// fieldSeed gives each (field, timestep) its own noise seed so fields are
+// uncorrelated in their small-scale structure but temporally coherent in
+// their large-scale pattern (the storm track is shared).
+func fieldSeed(field string, step int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range field {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return hash64(h ^ uint64(step)*2654435761)
+}
+
+// Generate synthesizes one field at one timestep as float32 data with the
+// given dims (z, y, x order). It panics on invalid arguments to mirror
+// out-of-range slice access; use Field for a checked variant.
+func Generate(field string, step int, dims []int) *pressio.Data {
+	d, err := Field(field, step, dims)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Field synthesizes one field at one timestep, validating arguments.
+func Field(field string, step int, dims []int) (*pressio.Data, error) {
+	if step < 0 || step >= Timesteps {
+		return nil, fmt.Errorf("hurricane: step %d out of range [0, %d)", step, Timesteps)
+	}
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("hurricane: want 3 dims, got %v", dims)
+	}
+	known := false
+	for _, f := range FieldNames {
+		if f == field {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("hurricane: unknown field %q (have %v)", field, FieldNames)
+	}
+
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	out := pressio.NewFloat32(nz, ny, nx)
+	buf := out.Float32()
+	st := stormAt(step)
+	seed := fieldSeed(field, step)
+
+	idx := 0
+	for iz := 0; iz < nz; iz++ {
+		z := float64(iz) / float64(max(nz-1, 1)) // 0 ground, 1 top
+		for iy := 0; iy < ny; iy++ {
+			y := float64(iy) / float64(max(ny-1, 1))
+			for ix := 0; ix < nx; ix++ {
+				x := float64(ix) / float64(max(nx-1, 1))
+				buf[idx] = float32(sample(field, x, y, z, st, seed))
+				idx++
+			}
+		}
+	}
+	return out, nil
+}
+
+// sample evaluates the physical model of one field at unit coordinates.
+func sample(field string, x, y, z float64, st storm, seed uint64) float64 {
+	dx, dy := x-st.cx, y-st.cy
+	r := math.Hypot(dx, dy)
+	// radial profiles
+	core := math.Exp(-r * r / (2 * 0.15 * 0.15))
+	eyewall := math.Exp(-(r - st.eyeRadius) * (r - st.eyeRadius) / (2 * 0.03 * 0.03))
+	// spiral rainbands: log-spiral phase modulated by radius
+	angle := math.Atan2(dy, dx)
+	band := math.Cos(3*angle - 12*r)
+	bandEnv := math.Exp(-(r - 0.25) * (r - 0.25) / (2 * 0.12 * 0.12))
+	turb := fbm(x, y, z, seed)
+
+	switch field {
+	case "P": // pressure: hydrostatic profile + central low
+		return 1000 - 850*z - 60*st.intensity*core + 2*turb
+	case "TC": // temperature: lapse rate + warm core aloft
+		return 28 - 70*z + 8*st.intensity*core*z + 1.5*turb
+	case "U": // zonal wind: tangential vortex component + shear
+		vt := tangential(r, st)
+		return -vt*math.Sin(angle) + 10*z + 3*turb
+	case "V": // meridional wind
+		vt := tangential(r, st)
+		return vt*math.Cos(angle) + 3*turb
+	case "W": // vertical velocity: strong in eyewall and bands, noisy
+		updraft := 4*st.intensity*eyewall + 1.5*st.intensity*bandEnv*math.Max(band, 0)
+		return updraft*math.Sin(math.Pi*z) + 0.8*turb
+	case "QVAPOR": // vapour: moist boundary layer, enhanced near storm
+		return math.Max(0, (0.02+0.008*st.intensity*core)*math.Exp(-4*z)*(1+0.3*turb))
+	case "CLOUD", "QCLOUD": // cloud water: mid-level, eyewall + bands
+		amount := st.intensity*(1.2*eyewall+bandEnv*math.Max(band, 0)) - 0.35
+		vert := math.Exp(-(z - 0.4) * (z - 0.4) / (2 * 0.2 * 0.2))
+		return sparse(amount*vert*(1+0.4*turb), 3e-4)
+	case "QRAIN", "PRECIP": // rain: low level under the bands
+		amount := st.intensity*(eyewall+1.1*bandEnv*math.Max(band, 0)) - 0.4
+		vert := math.Exp(-3 * z)
+		return sparse(amount*vert*(1+0.5*turb), 5e-4)
+	case "QICE": // ice: only aloft
+		amount := st.intensity*(eyewall+bandEnv*math.Max(band, 0)) - 0.45
+		vert := math.Exp(-(z - 0.8) * (z - 0.8) / (2 * 0.15 * 0.15))
+		return sparse(amount*vert*(1+0.4*turb), 2e-4)
+	case "QSNOW": // snow: upper-mid levels, broader than ice
+		amount := st.intensity*(0.8*eyewall+bandEnv*math.Max(band, 0)) - 0.42
+		vert := math.Exp(-(z - 0.65) * (z - 0.65) / (2 * 0.18 * 0.18))
+		return sparse(amount*vert*(1+0.4*turb), 2e-4)
+	case "QGRAUP": // graupel: rarest species, tall convective cores only
+		amount := st.intensity*(1.5*eyewall+0.6*bandEnv*math.Max(band, 0)) - 0.6
+		vert := math.Exp(-(z - 0.55) * (z - 0.55) / (2 * 0.15 * 0.15))
+		return sparse(amount*vert*(1+0.4*turb), 1e-4)
+	}
+	return 0
+}
+
+// tangential is the vortex tangential wind speed profile (Rankine-like:
+// linear inside the eye, decaying outside).
+func tangential(r float64, st storm) float64 {
+	vmax := 60 * st.intensity
+	if r < st.eyeRadius {
+		return vmax * r / st.eyeRadius
+	}
+	return vmax * math.Pow(st.eyeRadius/r, 0.6)
+}
+
+// sparse clamps small or negative amounts to exactly zero, producing the
+// large zero regions characteristic of moisture species, and scales the
+// remainder.
+func sparse(amount, scale float64) float64 {
+	if amount <= 0 {
+		return 0
+	}
+	return amount * scale * 50
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	_ "repro/internal/compressor/sz3"
+	"repro/internal/hurricane"
+	"repro/internal/pressio"
+)
+
+var testDims = []int{8, 16, 16}
+
+func field(t *testing.T, name string) *pressio.Data {
+	t.Helper()
+	d, err := hurricane.Field(name, 20, testDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAllMetricsRegistered(t *testing.T) {
+	for _, name := range []string{"stat", "entropy", "quantized_entropy", "variogram",
+		"svd_trunc", "spatial", "distortion", "size", "error_stat"} {
+		m, err := pressio.GetMetric(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("%s: Name() = %q", name, m.Name())
+		}
+		inv, ok := m.Configuration().GetStrings(pressio.CfgInvalidate)
+		if !ok || len(inv) == 0 {
+			t.Errorf("%s: missing %s metadata", name, pressio.CfgInvalidate)
+		}
+	}
+}
+
+func TestStatValues(t *testing.T) {
+	m := &Stat{}
+	d := pressio.FromFloat32([]float32{0, 0, 2, 4}, 4)
+	m.BeginCompress(d)
+	r := m.Results()
+	if v, _ := r.GetFloat("stat:range"); v != 4 {
+		t.Errorf("range = %v", v)
+	}
+	if v, _ := r.GetFloat("stat:sparsity"); v != 0.5 {
+		t.Errorf("sparsity = %v", v)
+	}
+	if v, _ := r.GetFloat("stat:mean"); v != 1.5 {
+		t.Errorf("mean = %v", v)
+	}
+}
+
+func TestQuantizedEntropyRespondsToBound(t *testing.T) {
+	d := field(t, "P")
+	loose := &QuantizedEntropy{}
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, 1.0)
+	loose.SetOptions(opts)
+	loose.BeginCompress(d)
+	lv, _ := loose.Results().GetFloat("quantized_entropy:bits")
+
+	tight := &QuantizedEntropy{}
+	opts.Set(pressio.OptAbs, 1e-6)
+	tight.SetOptions(opts)
+	tight.BeginCompress(d)
+	tv, _ := tight.Results().GetFloat("quantized_entropy:bits")
+	if lv >= tv {
+		t.Errorf("loose bound entropy %v should be below tight %v", lv, tv)
+	}
+}
+
+func TestSpatialDistinguishesFields(t *testing.T) {
+	sm := &Spatial{}
+	sm.BeginCompress(field(t, "P"))
+	pSmooth, _ := sm.Results().GetFloat("spatial:smoothness")
+	sm.BeginCompress(field(t, "W"))
+	wSmooth, _ := sm.Results().GetFloat("spatial:smoothness")
+	if pSmooth <= wSmooth {
+		t.Errorf("P smoothness %v should exceed W %v", pSmooth, wSmooth)
+	}
+	sm.BeginCompress(field(t, "QRAIN"))
+	qDiv, _ := sm.Results().GetFloat("spatial:diversity")
+	sm.BeginCompress(field(t, "P"))
+	pDiv, _ := sm.Results().GetFloat("spatial:diversity")
+	if qDiv <= pDiv {
+		t.Errorf("sparse QRAIN diversity %v should exceed dense P %v", qDiv, pDiv)
+	}
+}
+
+func TestDistortionMetric(t *testing.T) {
+	m := &Distortion{}
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, 0.5)
+	m.SetOptions(opts)
+	d := pressio.FromFloat32([]float32{0, 16}, 2)
+	m.BeginCompress(d)
+	v, _ := m.Results().GetFloat("distortion:general")
+	if math.Abs(v-4) > 1e-9 {
+		t.Errorf("distortion = %v, want 4 (log2(16/1))", v)
+	}
+}
+
+func TestSizeAndErrorStatThroughGroup(t *testing.T) {
+	comp, err := pressio.GetCompressor("sz3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pressio.Options{}
+	opts.Set(pressio.OptAbs, 1e-3)
+	g, err := pressio.NewMetricsGroup(comp, "size", "error_stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetOptions(opts); err != nil {
+		t.Fatal(err)
+	}
+	in := field(t, "TC")
+	compressed, err := g.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pressio.New(in.DType(), in.Dims()...)
+	if err := g.Decompress(compressed, out); err != nil {
+		t.Fatal(err)
+	}
+	r := g.Results()
+	cr, ok := r.GetFloat("size:compression_ratio")
+	if !ok || cr <= 1 {
+		t.Errorf("compression_ratio = %v, %v", cr, ok)
+	}
+	maxErr, ok := r.GetFloat("error_stat:max_error")
+	if !ok || maxErr > 1e-3 || maxErr <= 0 {
+		t.Errorf("max_error = %v, %v", maxErr, ok)
+	}
+	if _, ok := r.GetFloat("error_stat:psnr"); !ok {
+		t.Error("missing psnr")
+	}
+	if _, ok := r.GetFloat("time:compress"); !ok {
+		t.Error("missing compressor timing")
+	}
+}
+
+func TestSizeHandlesCompressError(t *testing.T) {
+	m := &Size{}
+	m.EndCompress(pressio.NewFloat32(4), nil, errors.New("boom"))
+	if v, ok := m.Results().GetBool("size:error"); !ok || !v {
+		t.Error("size should record the failure")
+	}
+}
+
+func TestErrorStatHandlesMismatch(t *testing.T) {
+	m := &ErrorStat{}
+	m.BeginCompress(pressio.NewFloat32(4))
+	m.EndDecompress(nil, pressio.NewFloat32(2), nil)
+	if v, ok := m.Results().GetBool("error_stat:error"); !ok || !v {
+		t.Error("error_stat should record the mismatch")
+	}
+}
+
+func TestVariogramMetric(t *testing.T) {
+	m := &Variogram{}
+	m.BeginCompress(field(t, "P"))
+	r := m.Results()
+	g1, ok := r.GetFloat("variogram:gamma1")
+	if !ok || g1 < 0 {
+		t.Errorf("gamma1 = %v, %v", g1, ok)
+	}
+	if _, ok := r.GetFloat("variogram:slope"); !ok {
+		t.Error("missing slope")
+	}
+}
+
+func TestSVDTruncMetric(t *testing.T) {
+	m := &SVDTrunc{}
+	m.BeginCompress(field(t, "P"))
+	r := m.Results()
+	frac, ok := r.GetFloat("svd_trunc:fraction")
+	if !ok || frac <= 0 || frac > 1 {
+		t.Errorf("fraction = %v, %v", frac, ok)
+	}
+	// smooth P needs less rank than noisy W
+	m.BeginCompress(field(t, "W"))
+	wFrac, _ := m.Results().GetFloat("svd_trunc:fraction")
+	if frac >= wFrac {
+		t.Errorf("P rank fraction %v should be below W %v", frac, wFrac)
+	}
+}
+
+func TestEntropyBinsOption(t *testing.T) {
+	m := &Entropy{}
+	o := pressio.Options{}
+	o.Set("entropy:bins", 16)
+	m.SetOptions(o)
+	if v, _ := m.Options().GetInt("entropy:bins"); v != 16 {
+		t.Errorf("bins = %v", v)
+	}
+	m.BeginCompress(field(t, "U"))
+	h, ok := m.Results().GetFloat("entropy:shannon")
+	if !ok || h <= 0 || h > 4 {
+		t.Errorf("entropy with 16 bins = %v (must be in (0, 4])", h)
+	}
+}

@@ -1,0 +1,135 @@
+package mlkit
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/gob"
+	"math"
+	"sort"
+)
+
+// Conformal wraps any fitted Model with split-conformal prediction
+// intervals: a held-out calibration set's absolute residuals give a
+// distribution-free quantile bound on new-point error — the statistical
+// guarantee device of Ganguli 2023 that lets the HDF5 parallel-write use
+// case forecast its misprediction rate (paper §2.1).
+type Conformal struct {
+	// Base is the underlying point predictor.
+	Base Model
+	// CalibrationFraction of the training data is held out (default 0.25).
+	CalibrationFraction float64
+
+	residuals []float64 // sorted calibration |errors|
+}
+
+// Fit trains Base on a split of the data and calibrates on the rest.
+func (c *Conformal) Fit(x [][]float64, y []float64) error {
+	if len(x) < 4 || len(x) != len(y) {
+		return ErrBadInput
+	}
+	frac := c.CalibrationFraction
+	if frac <= 0 || frac >= 1 {
+		frac = 0.25
+	}
+	nCal := int(float64(len(x)) * frac)
+	if nCal < 2 {
+		nCal = 2
+	}
+	// deterministic interleaved split so both halves span the data
+	var trainX, calX [][]float64
+	var trainY, calY []float64
+	every := len(x) / nCal
+	if every < 1 {
+		every = 1
+	}
+	for i := range x {
+		if i%every == 0 && len(calX) < nCal {
+			calX = append(calX, x[i])
+			calY = append(calY, y[i])
+		} else {
+			trainX = append(trainX, x[i])
+			trainY = append(trainY, y[i])
+		}
+	}
+	if err := c.Base.Fit(trainX, trainY); err != nil {
+		return err
+	}
+	c.residuals = c.residuals[:0]
+	for i := range calX {
+		pred, err := c.Base.Predict(calX[i])
+		if err != nil {
+			return err
+		}
+		c.residuals = append(c.residuals, math.Abs(pred-calY[i]))
+	}
+	sort.Float64s(c.residuals)
+	return nil
+}
+
+// Predict implements Model (the point prediction).
+func (c *Conformal) Predict(x []float64) (float64, error) {
+	return c.Base.Predict(x)
+}
+
+// PredictInterval returns the point prediction with a symmetric interval
+// that covers the truth with probability ≥ 1-alpha under exchangeability.
+func (c *Conformal) PredictInterval(x []float64, alpha float64) (pred, lo, hi float64, err error) {
+	pred, err = c.Base.Predict(x)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(c.residuals) == 0 {
+		return pred, pred, pred, ErrNotFitted
+	}
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	// conformal quantile: ceil((n+1)(1-alpha))/n
+	n := len(c.residuals)
+	rank := int(math.Ceil(float64(n+1) * (1 - alpha)))
+	if rank > n {
+		rank = n
+	}
+	q := c.residuals[rank-1]
+	return pred, pred - q, pred + q, nil
+}
+
+// conformalState is the serialized form of a Conformal wrapper.
+type conformalState struct {
+	BaseBytes []byte
+	Residuals []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the base model must
+// itself be binary-marshalable.
+func (c *Conformal) MarshalBinary() ([]byte, error) {
+	bm, ok := c.Base.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, ErrBadInput
+	}
+	baseBytes, err := bm.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(conformalState{BaseBytes: baseBytes, Residuals: c.residuals})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler: Base must be set
+// to a zero value of the same model type before calling.
+func (c *Conformal) UnmarshalBinary(b []byte) error {
+	bu, ok := c.Base.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return ErrBadInput
+	}
+	var st conformalState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if err := bu.UnmarshalBinary(st.BaseBytes); err != nil {
+		return err
+	}
+	c.residuals = st.Residuals
+	return nil
+}

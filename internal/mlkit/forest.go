@@ -1,0 +1,159 @@
+package mlkit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+)
+
+// RandomForest is a bagged ensemble of CART regression trees with random
+// feature subsets per split — the model family at the core of the Rahman
+// 2023 (FXRZ) prediction scheme.
+type RandomForest struct {
+	// Trees is the ensemble size (default 50).
+	Trees int
+	// MaxDepth bounds each tree (default 10).
+	MaxDepth int
+	// MinSamples is each tree's split minimum (default 4).
+	MinSamples int
+	// Seed makes training deterministic (default 1).
+	Seed uint64
+
+	Ensemble []*DecisionTree
+}
+
+func (f *RandomForest) trees() int {
+	if f.Trees <= 0 {
+		return 50
+	}
+	return f.Trees
+}
+
+// Fit implements Model: each tree trains on a bootstrap resample with
+// sqrt(p) feature subsets per split.
+func (f *RandomForest) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return ErrBadInput
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := &splitRNG{state: seed}
+	nf := len(x[0])
+	sub := int(math.Sqrt(float64(nf)) + 0.5)
+	if sub < 1 {
+		sub = 1
+	}
+	f.Ensemble = make([]*DecisionTree, f.trees())
+	n := len(x)
+	for t := range f.Ensemble {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tree := &DecisionTree{
+			MaxDepth:   f.maxDepth(),
+			MinSamples: f.MinSamples,
+			Features:   sub,
+		}
+		tree.SeedRNG(rng.next())
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		f.Ensemble[t] = tree
+	}
+	return nil
+}
+
+func (f *RandomForest) maxDepth() int {
+	if f.MaxDepth <= 0 {
+		return 10
+	}
+	return f.MaxDepth
+}
+
+// Predict implements Model: the ensemble mean.
+func (f *RandomForest) Predict(x []float64) (float64, error) {
+	if len(f.Ensemble) == 0 {
+		return 0, ErrNotFitted
+	}
+	s := 0.0
+	for _, t := range f.Ensemble {
+		v, err := t.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s / float64(len(f.Ensemble)), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *RandomForest) MarshalBinary() ([]byte, error) {
+	// encode through an alias type so gob does not re-enter this method
+	type plain RandomForest
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode((*plain)(f))
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *RandomForest) UnmarshalBinary(b []byte) error {
+	type plain RandomForest
+	return gob.NewDecoder(bytes.NewReader(b)).Decode((*plain)(f))
+}
+
+// AugmentByInterpolation implements FXRZ's data-augmentation trick:
+// synthetic training pairs are added by linearly interpolating between
+// nearest-neighbour observed (features, target) pairs, cutting the number
+// of real compressor runs needed to train. It returns the augmented
+// copies appended to the originals.
+func AugmentByInterpolation(x [][]float64, y []float64, factor int, seed uint64) ([][]float64, []float64) {
+	if factor < 1 || len(x) < 2 {
+		return x, y
+	}
+	rng := &splitRNG{state: seed | 1}
+	ax := append([][]float64(nil), x...)
+	ay := append([]float64(nil), y...)
+	n := len(x)
+	for k := 0; k < factor*n; k++ {
+		i := rng.intn(n)
+		j := nearestOther(x, i)
+		t := float64(rng.intn(1000)) / 1000
+		row := make([]float64, len(x[i]))
+		for c := range row {
+			row[c] = x[i][c]*(1-t) + x[j][c]*t
+		}
+		ax = append(ax, row)
+		ay = append(ay, y[i]*(1-t)+y[j]*t)
+	}
+	return ax, ay
+}
+
+// nearestOther finds the closest row to i by Euclidean distance.
+func nearestOther(x [][]float64, i int) int {
+	best := -1
+	bestD := math.Inf(1)
+	for j := range x {
+		if j == i {
+			continue
+		}
+		d := 0.0
+		for c := range x[i] {
+			diff := x[i][c] - x[j][c]
+			d += diff * diff
+		}
+		if d < bestD {
+			bestD = d
+			best = j
+		}
+	}
+	if best < 0 {
+		return i
+	}
+	return best
+}

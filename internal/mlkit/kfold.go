@@ -1,0 +1,68 @@
+package mlkit
+
+import "math/rand"
+
+// KFold deterministically partitions n indices into k folds and returns,
+// for each fold, the (train, test) index sets — the cross-validation
+// machinery predict-bench uses for its Table-2 style evaluation.
+func KFold(n, k int, seed int64) (trains, tests [][]int) {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		trains = append(trains, train)
+		tests = append(tests, folds[f])
+	}
+	return trains, tests
+}
+
+// GroupKFold partitions indices so that all indices sharing a group label
+// land in the same fold — the paper's out-of-sample evaluation keeps all
+// timesteps of a field together so prediction is across heterogeneous
+// fields rather than between near-identical timesteps.
+func GroupKFold(groups []string, k int, seed int64) (trains, tests [][]int) {
+	uniq := map[string][]int{}
+	var order []string
+	for i, g := range groups {
+		if _, ok := uniq[g]; !ok {
+			order = append(order, g)
+		}
+		uniq[g] = append(uniq[g], i)
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > len(order) {
+		k = len(order)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(len(order))
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], uniq[order[p]]...)
+	}
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		trains = append(trains, train)
+		tests = append(tests, folds[f])
+	}
+	return trains, tests
+}

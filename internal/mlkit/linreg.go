@@ -1,0 +1,77 @@
+package mlkit
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Model is the common fit/predict interface of mlkit regressors, mirroring
+// the SciKit-Learn BaseEstimator shape the paper's predict_plugin copies.
+type Model interface {
+	// Fit trains on rows of features x and targets y.
+	Fit(x [][]float64, y []float64) error
+	// Predict evaluates one feature vector.
+	Predict(x []float64) (float64, error)
+}
+
+// LinearRegression is ordinary (or, with Lambda > 0, ridge) least squares
+// with an intercept.
+type LinearRegression struct {
+	// Lambda is the L2 penalty on non-intercept coefficients; 0 = OLS.
+	Lambda float64
+	// Coef holds [intercept, w1, ..., wp] after Fit.
+	Coef []float64
+}
+
+// Fit implements Model.
+func (m *LinearRegression) Fit(x [][]float64, y []float64) error {
+	xtx, xty, err := normalEquations(x, y, m.Lambda)
+	if err != nil {
+		return err
+	}
+	coef, err := Solve(xtx, xty)
+	if err != nil {
+		if m.Lambda > 0 {
+			return err
+		}
+		// degenerate OLS design: retry with a tiny ridge, as sklearn's
+		// lstsq-based solver effectively does
+		xtx, xty, _ = normalEquations(x, y, 1e-8)
+		coef, err = Solve(xtx, xty)
+		if err != nil {
+			return err
+		}
+	}
+	m.Coef = coef
+	return nil
+}
+
+// Predict implements Model.
+func (m *LinearRegression) Predict(x []float64) (float64, error) {
+	if m.Coef == nil {
+		return 0, ErrNotFitted
+	}
+	if len(x) != len(m.Coef)-1 {
+		return 0, ErrBadInput
+	}
+	out := m.Coef[0]
+	for i, v := range x {
+		out += m.Coef[i+1] * v
+	}
+	return out, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler via gob.
+func (m *LinearRegression) MarshalBinary() ([]byte, error) {
+	// encode through an alias type so gob does not re-enter this method
+	type plain LinearRegression
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode((*plain)(m))
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *LinearRegression) UnmarshalBinary(b []byte) error {
+	type plain LinearRegression
+	return gob.NewDecoder(bytes.NewReader(b)).Decode((*plain)(m))
+}

@@ -1,0 +1,106 @@
+// Package mlkit is the model-fitting substrate for the prediction schemes:
+// ordinary/ridge least squares (Krasowska 2021), natural cubic spline
+// regression (Underwood 2023), CART regression trees and random forests
+// (Rahman 2023 / FXRZ), EM-fitted mixtures of linear regressions and split
+// conformal intervals (Ganguli 2023), and k-fold splitting for the bench
+// driver. The paper's C++ implementation reaches these model families
+// through an embedded Python interpreter; reimplementing them here keeps
+// the repository stdlib-only while exercising the same scheme designs.
+package mlkit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mlkit: singular system")
+
+// ErrNotFitted is returned by Predict before Fit succeeds.
+var ErrNotFitted = errors.New("mlkit: model is not fitted")
+
+// ErrBadInput reports inconsistent design-matrix shapes.
+var ErrBadInput = errors.New("mlkit: bad input")
+
+// Solve solves the n×n system a·x = b with Gaussian elimination and
+// partial pivoting; a and b are modified.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, ErrBadInput
+	}
+	for col := 0; col < n; col++ {
+		// pivot
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// normalEquations builds XᵀX (+ lambda·I, skipping the intercept column 0)
+// and Xᵀy for rows of features with a prepended intercept.
+func normalEquations(x [][]float64, y []float64, lambda float64) ([][]float64, []float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, nil, ErrBadInput
+	}
+	p := len(x[0]) + 1
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for r := range x {
+		if len(x[r]) != p-1 {
+			return nil, nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrBadInput, r, len(x[r]), p-1)
+		}
+		row[0] = 1
+		copy(row[1:], x[r])
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	for i := 1; i < p; i++ {
+		xtx[i][i] += lambda
+	}
+	return xtx, xty, nil
+}

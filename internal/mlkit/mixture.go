@@ -1,0 +1,237 @@
+package mlkit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+)
+
+// MixtureRegression is an EM-fitted mixture of K linear regressions with a
+// feature-space gate: each component owns a linear model and a Gaussian
+// responsibility centre in feature space; prediction soft-weights the
+// component models by the gate. This is the mixture-model device Ganguli
+// 2023 uses to absorb the sparse/dense heterogeneity that defeats single
+// global fits on Hurricane (paper §6).
+type MixtureRegression struct {
+	// K is the component count (default 3).
+	K int
+	// Iters is the EM iteration budget (default 30).
+	Iters int
+	// Seed makes initialization deterministic (default 1).
+	Seed uint64
+
+	Components []MixtureComponent
+}
+
+// MixtureComponent is one expert: a linear model plus its feature-space
+// gate parameters.
+type MixtureComponent struct {
+	Coef   []float64 // linear model, [intercept, w...]
+	Center []float64 // gate mean in feature space
+	Radius float64   // gate scale (isotropic std)
+	Weight float64   // mixing proportion
+}
+
+func (m *MixtureRegression) k() int {
+	if m.K <= 0 {
+		return 3
+	}
+	return m.K
+}
+
+func (m *MixtureRegression) iters() int {
+	if m.Iters <= 0 {
+		return 30
+	}
+	return m.Iters
+}
+
+// Fit implements Model with hard-assignment EM (k-means style on joint
+// residual + feature distance), which is robust at the small sample sizes
+// the bench produces.
+func (m *MixtureRegression) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return ErrBadInput
+	}
+	k := m.k()
+	if len(x) < 2*k {
+		k = 1 // not enough data to support a mixture
+	}
+	n := len(x)
+	nf := len(x[0])
+	rng := &splitRNG{state: m.Seed | 1}
+
+	// init: k distinct random rows as centres
+	assign := make([]int, n)
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = append([]float64(nil), x[rng.intn(n)]...)
+	}
+	scale := featureScales(x)
+
+	comps := make([]MixtureComponent, k)
+	for iter := 0; iter < m.iters(); iter++ {
+		// E: assign rows to nearest centre (scaled distance)
+		changed := false
+		for i := range x {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				d := scaledDist(x[i], centers[c], scale)
+				if d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// M: refit every component
+		for c := 0; c < k; c++ {
+			var cx [][]float64
+			var cy []float64
+			for i := range x {
+				if assign[i] == c {
+					cx = append(cx, x[i])
+					cy = append(cy, y[i])
+				}
+			}
+			if len(cx) == 0 {
+				// dead component: reseed on the worst-fit row
+				centers[c] = append([]float64(nil), x[rng.intn(n)]...)
+				continue
+			}
+			lin := &LinearRegression{Lambda: 1e-6}
+			if err := lin.Fit(cx, cy); err != nil {
+				return err
+			}
+			center := make([]float64, nf)
+			for _, row := range cx {
+				for f := range center {
+					center[f] += row[f]
+				}
+			}
+			for f := range center {
+				center[f] /= float64(len(cx))
+			}
+			var radius float64
+			for _, row := range cx {
+				radius += scaledDist(row, center, scale)
+			}
+			radius = radius/float64(len(cx)) + 1e-9
+			comps[c] = MixtureComponent{
+				Coef:   lin.Coef,
+				Center: center,
+				Radius: radius,
+				Weight: float64(len(cx)) / float64(n),
+			}
+			centers[c] = center
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// drop components that never fit
+	m.Components = m.Components[:0]
+	for _, c := range comps {
+		if c.Coef != nil {
+			m.Components = append(m.Components, c)
+		}
+	}
+	if len(m.Components) == 0 {
+		return ErrSingular
+	}
+	return nil
+}
+
+// featureScales returns per-feature standard deviations for distance
+// normalization (1 for constant features).
+func featureScales(x [][]float64) []float64 {
+	nf := len(x[0])
+	mean := make([]float64, nf)
+	for _, row := range x {
+		for f, v := range row {
+			mean[f] += v
+		}
+	}
+	for f := range mean {
+		mean[f] /= float64(len(x))
+	}
+	s := make([]float64, nf)
+	for _, row := range x {
+		for f, v := range row {
+			d := v - mean[f]
+			s[f] += d * d
+		}
+	}
+	for f := range s {
+		s[f] = math.Sqrt(s[f] / float64(len(x)))
+		if s[f] == 0 {
+			s[f] = 1
+		}
+	}
+	return s
+}
+
+func scaledDist(a, b, scale []float64) float64 {
+	d := 0.0
+	for f := range a {
+		diff := (a[f] - b[f]) / scale[f]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
+// Predict implements Model: gate-weighted expert average.
+func (m *MixtureRegression) Predict(x []float64) (float64, error) {
+	if len(m.Components) == 0 {
+		return 0, ErrNotFitted
+	}
+	scale := make([]float64, len(x))
+	for i := range scale {
+		scale[i] = 1
+	}
+	var num, den float64
+	for _, c := range m.Components {
+		if len(x) != len(c.Center) {
+			return 0, ErrBadInput
+		}
+		d := scaledDist(x, c.Center, scale)
+		w := c.Weight * math.Exp(-d*d/(2*c.Radius*c.Radius+1e-12))
+		lin := &LinearRegression{Coef: c.Coef}
+		v, err := lin.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		num += w * v
+		den += w
+	}
+	if den < 1e-300 {
+		// far from every gate: fall back to the heaviest component
+		best := 0
+		for i := range m.Components {
+			if m.Components[i].Weight > m.Components[best].Weight {
+				best = i
+			}
+		}
+		lin := &LinearRegression{Coef: m.Components[best].Coef}
+		return lin.Predict(x)
+	}
+	return num / den, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *MixtureRegression) MarshalBinary() ([]byte, error) {
+	// encode through an alias type so gob does not re-enter this method
+	type plain MixtureRegression
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode((*plain)(m))
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *MixtureRegression) UnmarshalBinary(b []byte) error {
+	type plain MixtureRegression
+	return gob.NewDecoder(bytes.NewReader(b)).Decode((*plain)(m))
+}

@@ -1,0 +1,482 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// zero on the diagonal forces a row swap
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestLinearRegressionExactOnLinearData(t *testing.T) {
+	// y = 2 + 3a - b must be recovered exactly
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, 2+3*a-b)
+	}
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict([]float64{4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-(2+12-7)) > 1e-6 {
+		t.Errorf("pred = %v, want 7", pred)
+	}
+}
+
+func TestLinearRegressionDegenerateDesign(t *testing.T) {
+	// duplicated feature columns: OLS normal equations are singular, the
+	// tiny-ridge fallback must still fit
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatalf("degenerate design not handled: %v", err)
+	}
+	pred, _ := m.Predict([]float64{5, 5})
+	if math.Abs(pred-10) > 0.1 {
+		t.Errorf("pred = %v, want ~10", pred)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	m := &LinearRegression{}
+	if _, err := m.Predict([]float64{1}); err != ErrNotFitted {
+		t.Error("unfitted Predict should fail")
+	}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	m.Fit([][]float64{{1}, {2}}, []float64{1, 2})
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestLinearRegressionGobRoundTrip(t *testing.T) {
+	m := &LinearRegression{}
+	m.Fit([][]float64{{1}, {2}, {3}}, []float64{2, 4, 6})
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got LinearRegression
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Predict([]float64{5})
+	b, _ := got.Predict([]float64{5})
+	if a != b {
+		t.Errorf("restored model predicts %v, original %v", b, a)
+	}
+}
+
+func TestSplineFitsNonlinear(t *testing.T) {
+	// spline should beat a line on y = sin(x)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200 * 2 * math.Pi
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	sp := &SplineRegression{Knots: 8}
+	if err := sp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lin := &LinearRegression{}
+	lin.Fit(x, y)
+	var sErr, lErr float64
+	for i := range x {
+		s, _ := sp.Predict(x[i])
+		l, _ := lin.Predict(x[i])
+		sErr += (s - y[i]) * (s - y[i])
+		lErr += (l - y[i]) * (l - y[i])
+	}
+	if sErr >= lErr/4 {
+		t.Errorf("spline SSE %v should be well under linear SSE %v", sErr, lErr)
+	}
+}
+
+func TestSplineMultiFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a, b := rng.Float64()*4, rng.Float64()*4
+		x = append(x, []float64{a, b})
+		y = append(y, a*a+math.Sqrt(b))
+	}
+	sp := &SplineRegression{}
+	if err := sp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := sp.Predict([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-5) > 0.5 {
+		t.Errorf("pred = %v, want ~5", pred)
+	}
+}
+
+func TestSplineSerialization(t *testing.T) {
+	sp := &SplineRegression{}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{float64(i)})
+		y = append(y, float64(i*i))
+	}
+	sp.Fit(x, y)
+	raw, _ := sp.MarshalBinary()
+	var got SplineRegression
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sp.Predict([]float64{25})
+	b, _ := got.Predict([]float64{25})
+	if a != b {
+		t.Error("spline round-trip changed predictions")
+	}
+}
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		x = append(x, []float64{v})
+		if v < 50 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 9)
+		}
+	}
+	tr := &DecisionTree{}
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := tr.Predict([]float64{10})
+	hi, _ := tr.Predict([]float64{90})
+	if math.Abs(lo-1) > 1e-9 || math.Abs(hi-9) > 1e-9 {
+		t.Errorf("step not learned: %v, %v", lo, hi)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tr := &DecisionTree{}
+	if _, err := tr.Predict([]float64{1}); err != ErrNotFitted {
+		t.Error("unfitted tree should fail")
+	}
+	if err := tr.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+}
+
+func TestForestBeatsMeanOnNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64()*6, rng.Float64()*6
+		x = append(x, []float64{a, b})
+		y = append(y, math.Sin(a)*b+0.05*rng.NormFloat64())
+	}
+	rf := &RandomForest{Trees: 30, Seed: 7}
+	if err := rf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(len(y))
+	var rfSSE, meanSSE float64
+	for i := range x {
+		p, err := rf.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rfSSE += (p - y[i]) * (p - y[i])
+		meanSSE += (meanY - y[i]) * (meanY - y[i])
+	}
+	if rfSSE >= meanSSE/4 {
+		t.Errorf("forest SSE %v should be well under mean-predictor SSE %v", rfSSE, meanSSE)
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	y := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := &RandomForest{Trees: 5, Seed: 11}
+	b := &RandomForest{Trees: 5, Seed: 11}
+	a.Fit(x, y)
+	b.Fit(x, y)
+	pa, _ := a.Predict([]float64{4.5})
+	pb, _ := b.Predict([]float64{4.5})
+	if pa != pb {
+		t.Error("same-seed forests disagree")
+	}
+}
+
+func TestForestSerialization(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	y := []float64{2, 4, 6, 8, 10, 12}
+	rf := &RandomForest{Trees: 5}
+	rf.Fit(x, y)
+	raw, _ := rf.MarshalBinary()
+	var got RandomForest
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rf.Predict([]float64{3.5})
+	b, _ := got.Predict([]float64{3.5})
+	if a != b {
+		t.Error("forest round-trip changed predictions")
+	}
+}
+
+func TestAugmentByInterpolation(t *testing.T) {
+	x := [][]float64{{0}, {10}}
+	y := []float64{0, 100}
+	ax, ay := AugmentByInterpolation(x, y, 5, 3)
+	if len(ax) != 2+10 || len(ay) != len(ax) {
+		t.Fatalf("augmented to %d rows, want 12", len(ax))
+	}
+	// synthetic points must lie on the segment between the originals
+	for i := 2; i < len(ax); i++ {
+		v := ax[i][0]
+		if v < 0 || v > 10 {
+			t.Errorf("augmented feature %v outside hull", v)
+		}
+		if math.Abs(ay[i]-10*v) > 1e-9 {
+			t.Errorf("augmented target %v inconsistent with feature %v", ay[i], v)
+		}
+	}
+	// degenerate inputs pass through
+	ox, oy := AugmentByInterpolation(x[:1], y[:1], 5, 3)
+	if len(ox) != 1 || len(oy) != 1 {
+		t.Error("single-row input should be returned unchanged")
+	}
+}
+
+func TestMixtureSeparatesRegimes(t *testing.T) {
+	// two regimes: y = 10x for x<0, y = -5x for x>=0; one line fits badly
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		v := rng.Float64()*20 - 10
+		x = append(x, []float64{v})
+		if v < 0 {
+			y = append(y, 10*v)
+		} else {
+			y = append(y, -5*v)
+		}
+	}
+	mix := &MixtureRegression{K: 2, Seed: 5}
+	if err := mix.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lin := &LinearRegression{}
+	lin.Fit(x, y)
+	var mSSE, lSSE float64
+	for i := range x {
+		mp, err := mix.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, _ := lin.Predict(x[i])
+		mSSE += (mp - y[i]) * (mp - y[i])
+		lSSE += (lp - y[i]) * (lp - y[i])
+	}
+	if mSSE >= lSSE/2 {
+		t.Errorf("mixture SSE %v should be well under linear SSE %v", mSSE, lSSE)
+	}
+}
+
+func TestMixtureSmallSampleFallsBack(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	mix := &MixtureRegression{K: 3}
+	if err := mix.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := mix.Predict([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-2.5) > 0.5 {
+		t.Errorf("small-sample mixture pred = %v, want ~2.5", p)
+	}
+}
+
+func TestMixtureSerialization(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	y := []float64{1, 2, 3, 4, 10, 12, 14, 16}
+	mix := &MixtureRegression{K: 2, Seed: 9}
+	mix.Fit(x, y)
+	raw, _ := mix.MarshalBinary()
+	var got MixtureRegression
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := mix.Predict([]float64{5})
+	b, _ := got.Predict([]float64{5})
+	if a != b {
+		t.Error("mixture round-trip changed predictions")
+	}
+}
+
+func TestConformalCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{v})
+		y = append(y, 3*v+rng.NormFloat64())
+	}
+	c := &Conformal{Base: &LinearRegression{}}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	n := 500
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		truth := 3*v + rng.NormFloat64()
+		_, lo, hi, err := c.PredictInterval([]float64{v}, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth >= lo && truth <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / float64(n)
+	if rate < 0.85 {
+		t.Errorf("coverage %.3f below nominal 0.90 minus tolerance", rate)
+	}
+}
+
+func TestConformalErrors(t *testing.T) {
+	c := &Conformal{Base: &LinearRegression{}}
+	if err := c.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("too-small calibration accepted")
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	trains, tests := KFold(20, 4, 1)
+	if len(trains) != 4 || len(tests) != 4 {
+		t.Fatalf("folds %d/%d", len(trains), len(tests))
+	}
+	seen := map[int]int{}
+	for f := range tests {
+		if len(trains[f])+len(tests[f]) != 20 {
+			t.Errorf("fold %d covers %d indices", f, len(trains[f])+len(tests[f]))
+		}
+		for _, i := range tests[f] {
+			seen[i]++
+		}
+		// no overlap between train and test of a fold
+		inTest := map[int]bool{}
+		for _, i := range tests[f] {
+			inTest[i] = true
+		}
+		for _, i := range trains[f] {
+			if inTest[i] {
+				t.Errorf("fold %d: index %d in both sets", f, i)
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if seen[i] != 1 {
+			t.Errorf("index %d appears in %d test folds, want 1", i, seen[i])
+		}
+	}
+}
+
+func TestGroupKFoldKeepsGroupsTogether(t *testing.T) {
+	groups := []string{"A", "A", "B", "B", "C", "C", "D", "D"}
+	_, tests := GroupKFold(groups, 2, 1)
+	for f, test := range tests {
+		inFold := map[string]bool{}
+		for _, i := range test {
+			inFold[groups[i]] = true
+		}
+		for g := range inFold {
+			// every index of g must be in this fold's test set
+			count := 0
+			for _, i := range test {
+				if groups[i] == g {
+					count++
+				}
+			}
+			if count != 2 {
+				t.Errorf("fold %d: group %s split across folds", f, g)
+			}
+		}
+	}
+}
+
+func TestKFoldQuickProperties(t *testing.T) {
+	f := func(n uint8, k uint8, seed int64) bool {
+		nn := int(n)%50 + 4
+		kk := int(k)%8 + 2
+		trains, tests := KFold(nn, kk, seed)
+		total := 0
+		for f := range tests {
+			total += len(tests[f])
+			if len(trains[f])+len(tests[f]) != nn {
+				return false
+			}
+		}
+		return total == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package mlkit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"sort"
+)
+
+// SplineRegression is an additive natural-cubic-spline regression: each
+// feature is expanded into a natural cubic spline basis with knots at
+// empirical quantiles, and the expanded design is fitted with ridge least
+// squares. This is the "more sophisticated cubic spline regression" that
+// Underwood 2023 swaps in for Krasowska's plain linear fit.
+type SplineRegression struct {
+	// Knots per feature (default 5 when zero).
+	Knots int
+	// Lambda is the ridge penalty on the expanded design (default 1e-6).
+	Lambda float64
+
+	// fitted state
+	KnotPos [][]float64 // per feature, sorted interior knot positions
+	Coef    []float64   // linear model over the expanded basis
+}
+
+func (m *SplineRegression) knots() int {
+	if m.Knots <= 0 {
+		return 5
+	}
+	return m.Knots
+}
+
+func (m *SplineRegression) lambda() float64 {
+	if m.Lambda <= 0 {
+		return 1e-6
+	}
+	return m.Lambda
+}
+
+// naturalBasis evaluates the natural cubic spline basis for value v with
+// the given knots: v itself plus the natural-spline truncated-cubic terms
+// (the d_k(v) - d_{K-1}(v) construction from Hastie et al.), giving K-1
+// basis functions total for K knots.
+func naturalBasis(v float64, knots []float64) []float64 {
+	k := len(knots)
+	if k < 3 {
+		return []float64{v}
+	}
+	out := make([]float64, 0, k-1)
+	out = append(out, v)
+	last := knots[k-1]
+	prev := knots[k-2]
+	d := func(pos float64) float64 {
+		num := cube(v-pos) - cube(v-last)
+		return num / (last - pos)
+	}
+	dk := d(prev)
+	for i := 0; i < k-2; i++ {
+		out = append(out, d(knots[i])-dk)
+	}
+	return out
+}
+
+func cube(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * x * x
+}
+
+// expand maps a raw feature vector through the per-feature spline bases.
+func (m *SplineRegression) expand(x []float64) []float64 {
+	var out []float64
+	for f, v := range x {
+		out = append(out, naturalBasis(v, m.KnotPos[f])...)
+	}
+	return out
+}
+
+// Fit implements Model.
+func (m *SplineRegression) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return ErrBadInput
+	}
+	nf := len(x[0])
+	m.KnotPos = make([][]float64, nf)
+	for f := 0; f < nf; f++ {
+		vals := make([]float64, len(x))
+		for r := range x {
+			if len(x[r]) != nf {
+				return ErrBadInput
+			}
+			vals[r] = x[r][f]
+		}
+		sort.Float64s(vals)
+		k := m.knots()
+		pos := make([]float64, 0, k)
+		for i := 0; i < k; i++ {
+			q := float64(i) / float64(k-1)
+			pos = append(pos, quantileSorted(vals, q))
+		}
+		pos = dedupe(pos)
+		m.KnotPos[f] = pos
+	}
+	expanded := make([][]float64, len(x))
+	for r := range x {
+		expanded[r] = m.expand(x[r])
+	}
+	lin := &LinearRegression{Lambda: m.lambda()}
+	if err := lin.Fit(expanded, y); err != nil {
+		return err
+	}
+	m.Coef = lin.Coef
+	return nil
+}
+
+// Predict implements Model.
+func (m *SplineRegression) Predict(x []float64) (float64, error) {
+	if m.Coef == nil {
+		return 0, ErrNotFitted
+	}
+	if len(x) != len(m.KnotPos) {
+		return 0, ErrBadInput
+	}
+	lin := &LinearRegression{Coef: m.Coef}
+	return lin.Predict(m.expand(x))
+}
+
+// quantileSorted returns the q-quantile of sorted values by linear
+// interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func dedupe(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *SplineRegression) MarshalBinary() ([]byte, error) {
+	// encode through an alias type so gob does not re-enter this method
+	type plain SplineRegression
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode((*plain)(m))
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *SplineRegression) UnmarshalBinary(b []byte) error {
+	type plain SplineRegression
+	return gob.NewDecoder(bytes.NewReader(b)).Decode((*plain)(m))
+}

@@ -1,0 +1,143 @@
+package predictors
+
+import (
+	"repro/internal/core"
+	"repro/internal/mlkit"
+)
+
+func init() {
+	core.RegisterScheme("krasowska2021", func() core.Scheme { return &krasowskaScheme{} })
+	core.RegisterScheme("underwood2023", func() core.Scheme { return &underwoodScheme{} })
+	core.RegisterScheme("ganguli2023", func() core.Scheme { return &ganguliScheme{} })
+}
+
+// blackBoxSupports: black-box schemes work with any error-bounded
+// compressor; the lossless baseline has no error bound but the features
+// still apply, so it is accepted too.
+func blackBoxSupports(string) bool { return true }
+
+// krasowskaScheme is Krasowska 2021: quantized entropy + local variogram
+// fitted with a simple linear regression — the first compressor-internal-
+// free (black-box) CR predictor.
+type krasowskaScheme struct{}
+
+func (*krasowskaScheme) Name() string { return "krasowska2021" }
+
+func (*krasowskaScheme) Info() core.Info {
+	return core.Info{
+		Method:   "Krasowska [9]",
+		Training: true,
+		Sampling: false,
+		BlackBox: "yes",
+		Goal:     "accurate",
+		Metrics:  "CR",
+		Approach: "regression",
+	}
+}
+
+func (*krasowskaScheme) Supports(c string) bool { return blackBoxSupports(c) }
+
+func (*krasowskaScheme) Metrics() []string {
+	return []string{"quantized_entropy", "variogram"}
+}
+
+func (*krasowskaScheme) Features() []string {
+	return []string{"quantized_entropy:bits", "variogram:gamma1", "variogram:slope"}
+}
+
+func (*krasowskaScheme) Target() string { return "size:compression_ratio" }
+
+func (*krasowskaScheme) NewPredictor(string) (core.Predictor, error) {
+	return &core.ModelPredictor{
+		ModelName: "linear_regression",
+		Model:     &mlkit.LinearRegression{},
+		ClampMin:  1,
+	}, nil
+}
+
+// underwoodScheme is Underwood 2023: the variogram is exchanged for the
+// SVD truncation (global spatial information) and the linear fit for a
+// cubic spline regression. Accurate, but the SVD precompute dominates the
+// cost, making it best when many predictions amortize one evaluation
+// (paper §6).
+type underwoodScheme struct{}
+
+func (*underwoodScheme) Name() string { return "underwood2023" }
+
+func (*underwoodScheme) Info() core.Info {
+	return core.Info{
+		Method:   "Underwood [17]",
+		Training: true,
+		Sampling: false,
+		BlackBox: "yes",
+		Goal:     "accurate",
+		Metrics:  "CR",
+		Approach: "regression",
+	}
+}
+
+func (*underwoodScheme) Supports(c string) bool { return blackBoxSupports(c) }
+
+func (*underwoodScheme) Metrics() []string {
+	return []string{"svd_trunc", "quantized_entropy"}
+}
+
+func (*underwoodScheme) Features() []string {
+	return []string{"svd_trunc:fraction", "quantized_entropy:bits"}
+}
+
+func (*underwoodScheme) Target() string { return "size:compression_ratio" }
+
+func (*underwoodScheme) NewPredictor(string) (core.Predictor, error) {
+	return &core.ModelPredictor{
+		ModelName: "cubic_spline",
+		Model:     &mlkit.SplineRegression{Knots: 5},
+		ClampMin:  1,
+	}, nil
+}
+
+// ganguliScheme is Ganguli 2023: three bespoke spatial metrics
+// (correlation, diversity, smoothness) plus coding gain and general
+// distortion, fitted with a mixture regression and wrapped in conformal
+// prediction for statistically bounded estimates.
+type ganguliScheme struct{}
+
+func (*ganguliScheme) Name() string { return "ganguli2023" }
+
+func (*ganguliScheme) Info() core.Info {
+	return core.Info{
+		Method:   "Ganguli [2]",
+		Training: true,
+		Sampling: false,
+		BlackBox: "yes",
+		Goal:     "accurate",
+		Metrics:  "CR",
+		Approach: "regression",
+		Features: "bounded",
+	}
+}
+
+func (*ganguliScheme) Supports(c string) bool { return blackBoxSupports(c) }
+
+func (*ganguliScheme) Metrics() []string {
+	return []string{"spatial", "distortion"}
+}
+
+func (*ganguliScheme) Features() []string {
+	return []string{
+		"spatial:correlation", "spatial:diversity", "spatial:smoothness",
+		"spatial:coding_gain", "distortion:general",
+	}
+}
+
+func (*ganguliScheme) Target() string { return "size:compression_ratio" }
+
+func (*ganguliScheme) NewPredictor(string) (core.Predictor, error) {
+	return &core.ModelPredictor{
+		ModelName: "conformal_mixture",
+		Model: &mlkit.Conformal{
+			Base: &mlkit.MixtureRegression{K: 3, Seed: 17},
+		},
+		ClampMin: 1,
+	}, nil
+}

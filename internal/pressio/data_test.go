@@ -1,0 +1,231 @@
+package pressio
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	cases := map[DType]int{
+		DTypeByte:    1,
+		DTypeFloat32: 4,
+		DTypeFloat64: 8,
+		DTypeInt32:   4,
+		DTypeInt64:   8,
+	}
+	for dt, want := range cases {
+		if got := dt.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", dt, got, want)
+		}
+	}
+	if DType(99).Size() != 0 {
+		t.Errorf("unknown dtype size should be 0")
+	}
+}
+
+func TestParseDTypeRoundTrip(t *testing.T) {
+	for _, dt := range []DType{DTypeByte, DTypeFloat32, DTypeFloat64, DTypeInt32, DTypeInt64} {
+		got, err := ParseDType(dt.String())
+		if err != nil {
+			t.Fatalf("ParseDType(%q): %v", dt.String(), err)
+		}
+		if got != dt {
+			t.Errorf("ParseDType(%q) = %v, want %v", dt.String(), got, dt)
+		}
+	}
+	if _, err := ParseDType("complex128"); err == nil {
+		t.Error("ParseDType should reject unknown names")
+	}
+}
+
+func TestDataLenAndByteSize(t *testing.T) {
+	d := NewFloat32(4, 5, 6)
+	if d.Len() != 120 {
+		t.Errorf("Len = %d, want 120", d.Len())
+	}
+	if d.ByteSize() != 480 {
+		t.Errorf("ByteSize = %d, want 480", d.ByteSize())
+	}
+	empty := &Data{dtype: DTypeFloat32}
+	if empty.Len() != 0 {
+		t.Errorf("zero-dim Len = %d, want 0", empty.Len())
+	}
+}
+
+func TestDataAtSetAllTypes(t *testing.T) {
+	for _, dt := range []DType{DTypeFloat32, DTypeFloat64, DTypeInt32, DTypeInt64, DTypeByte} {
+		d := New(dt, 8)
+		d.Set(3, 42)
+		if got := d.At(3); got != 42 {
+			t.Errorf("%v: At(3) = %v, want 42", dt, got)
+		}
+		if got := d.At(0); got != 0 {
+			t.Errorf("%v: At(0) = %v, want 0", dt, got)
+		}
+	}
+}
+
+func TestDataCloneIsDeep(t *testing.T) {
+	d := NewFloat64(3)
+	d.Set(0, 1.5)
+	c := d.Clone()
+	c.Set(0, 9.9)
+	if d.At(0) != 1.5 {
+		t.Errorf("Clone shares storage: original changed to %v", d.At(0))
+	}
+	if c.DType() != d.DType() || c.Len() != d.Len() {
+		t.Errorf("Clone changed shape/type")
+	}
+}
+
+func TestDataReshape(t *testing.T) {
+	d := NewFloat32(4, 6)
+	r, err := d.Reshape(2, 12)
+	if err != nil {
+		t.Fatalf("Reshape: %v", err)
+	}
+	r.Set(0, 7)
+	if d.At(0) != 7 {
+		t.Error("Reshape should share storage")
+	}
+	if _, err := d.Reshape(5, 5); err == nil {
+		t.Error("Reshape should reject mismatched element counts")
+	}
+}
+
+func TestDataRange(t *testing.T) {
+	d := FromFloat32([]float32{3, -1, 4, 1, 5, -9, 2, 6}, 8)
+	lo, hi := d.Range()
+	if lo != -9 || hi != 6 {
+		t.Errorf("Range = (%v, %v), want (-9, 6)", lo, hi)
+	}
+	d64 := FromFloat64([]float64{2.5}, 1)
+	lo, hi = d64.Range()
+	if lo != 2.5 || hi != 2.5 {
+		t.Errorf("singleton Range = (%v, %v)", lo, hi)
+	}
+}
+
+func TestDataMarshalRoundTripQuick(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			vals = []float32{0}
+		}
+		for i, v := range vals {
+			if math.IsNaN(float64(v)) {
+				vals[i] = 0 // NaN != NaN breaks comparison, not the codec
+			}
+		}
+		d := FromFloat32(vals, len(vals))
+		b, err := d.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Data
+		if err := got.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		if got.DType() != DTypeFloat32 || got.Len() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got.Float32()[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataMarshalRoundTripAllTypes(t *testing.T) {
+	for _, dt := range []DType{DTypeByte, DTypeFloat32, DTypeFloat64, DTypeInt32, DTypeInt64} {
+		d := New(dt, 2, 3)
+		for i := 0; i < d.Len(); i++ {
+			d.Set(i, float64(i*3+1))
+		}
+		b, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", dt, err)
+		}
+		var got Data
+		if err := got.UnmarshalBinary(b); err != nil {
+			t.Fatalf("%v: unmarshal: %v", dt, err)
+		}
+		if got.DType() != dt {
+			t.Errorf("%v: dtype changed to %v", dt, got.DType())
+		}
+		if len(got.Dims()) != 2 || got.Dims()[0] != 2 || got.Dims()[1] != 3 {
+			t.Errorf("%v: dims changed to %v", dt, got.Dims())
+		}
+		for i := 0; i < d.Len(); i++ {
+			if got.At(i) != d.At(i) {
+				t.Errorf("%v: element %d = %v, want %v", dt, i, got.At(i), d.At(i))
+			}
+		}
+	}
+}
+
+func TestDataUnmarshalRejectsTruncation(t *testing.T) {
+	d := NewFloat32(10)
+	b, _ := d.MarshalBinary()
+	for _, n := range []int{0, 4, 8, len(b) - 1} {
+		var got Data
+		if err := got.UnmarshalBinary(b[:n]); err == nil {
+			t.Errorf("UnmarshalBinary accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestFromFloat32PanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromFloat32 should panic when dims mismatch data length")
+		}
+	}()
+	FromFloat32(make([]float32, 5), 2, 2)
+}
+
+func TestTypedAccessorPanicsOnWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Float64 on float32 data should panic")
+		}
+	}()
+	NewFloat32(1).Float64()
+}
+
+func TestCheckDims(t *testing.T) {
+	if n, err := CheckDims([]int{4, 5, 6}); err != nil || n != 120 {
+		t.Errorf("CheckDims = %d, %v", n, err)
+	}
+	for _, bad := range [][]int{
+		nil,
+		{0},
+		{-3, 4},
+		{1 << 62, 1 << 62}, // would overflow int64
+		{MaxElements + 1},
+	} {
+		if _, err := CheckDims(bad); err == nil {
+			t.Errorf("CheckDims(%v) accepted", bad)
+		}
+	}
+}
+
+func TestUnmarshalRejectsHugeDims(t *testing.T) {
+	// craft a header claiming astronomically large dims (the overflow
+	// attack the decompressor fuzzing surfaced)
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(DTypeFloat32))
+	b = binary.LittleEndian.AppendUint32(b, 2)
+	b = binary.LittleEndian.AppendUint64(b, 1<<62)
+	b = binary.LittleEndian.AppendUint64(b, 1<<62)
+	var d Data
+	if err := d.UnmarshalBinary(b); err == nil {
+		t.Error("overflowing dims accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Package pressio provides the core LibPressio-style abstractions that the
+// rest of the repository builds on: n-dimensional typed data buffers
+// (Data), introspectable option structures (Options), compressor plugins
+// (Compressor), metrics plugins with compression lifecycle hooks (Metric),
+// and name-based plugin registries.
+//
+// The design mirrors the C++ LibPressio library described in the paper
+// "LibPressio-Predict: Flexible and Fast Infrastructure For Inferring
+// Compression Performance" (SC-W 2023): compressors and metrics are
+// configured through generic option structures so that tools such as
+// predict-bench can introspect, hash, and sweep configurations without
+// compile-time knowledge of the plugins involved.
+package pressio
+
+import "fmt"
+
+// DType identifies the element type stored in a Data buffer.
+type DType int
+
+const (
+	// DTypeByte is an opaque byte buffer, used for compressed payloads.
+	DTypeByte DType = iota
+	// DTypeFloat32 is IEEE-754 binary32.
+	DTypeFloat32
+	// DTypeFloat64 is IEEE-754 binary64.
+	DTypeFloat64
+	// DTypeInt32 is a signed 32-bit integer.
+	DTypeInt32
+	// DTypeInt64 is a signed 64-bit integer.
+	DTypeInt64
+)
+
+// Size returns the size in bytes of one element of the type.
+func (t DType) Size() int {
+	switch t {
+	case DTypeByte:
+		return 1
+	case DTypeFloat32, DTypeInt32:
+		return 4
+	case DTypeFloat64, DTypeInt64:
+		return 8
+	}
+	return 0
+}
+
+// String returns the LibPressio-style name of the type.
+func (t DType) String() string {
+	switch t {
+	case DTypeByte:
+		return "byte"
+	case DTypeFloat32:
+		return "float32"
+	case DTypeFloat64:
+		return "float64"
+	case DTypeInt32:
+		return "int32"
+	case DTypeInt64:
+		return "int64"
+	}
+	return fmt.Sprintf("DType(%d)", int(t))
+}
+
+// ParseDType converts a type name as produced by DType.String back into a
+// DType. It reports an error for unknown names.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "byte":
+		return DTypeByte, nil
+	case "float32":
+		return DTypeFloat32, nil
+	case "float64":
+		return DTypeFloat64, nil
+	case "int32":
+		return DTypeInt32, nil
+	case "int64":
+		return DTypeInt64, nil
+	}
+	return 0, fmt.Errorf("pressio: unknown dtype %q", s)
+}

@@ -1,0 +1,124 @@
+package pressio
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Opaque wraps a value that should be carried in an Options structure but
+// excluded from stable hashing and serialization — the Go analogue of the
+// void* entries (CUDA streams, MPI communicators) that LibPressio's option
+// hasher skips.
+type Opaque struct{ Value any }
+
+// Options is an introspectable string-keyed configuration structure, the Go
+// analogue of pressio_options. Values are restricted to bool, int64,
+// float64, string, []string, []byte, and Opaque. Integer literals of other
+// widths are normalized to int64 on Set.
+//
+// Keys follow the LibPressio "<plugin>:<setting>" convention, e.g.
+// "pressio:abs" or "sz3:quant_bins".
+type Options map[string]any
+
+// Set stores a value under key, normalizing integer types to int64 and
+// float32 to float64. Unsupported types are wrapped in Opaque so they are
+// carried but excluded from hashing.
+func (o Options) Set(key string, value any) {
+	switch v := value.(type) {
+	case bool, int64, float64, string, []string, []byte, Opaque:
+		o[key] = v
+	case int:
+		o[key] = int64(v)
+	case int32:
+		o[key] = int64(v)
+	case uint32:
+		o[key] = int64(v)
+	case uint64:
+		o[key] = int64(v)
+	case float32:
+		o[key] = float64(v)
+	default:
+		o[key] = Opaque{Value: value}
+	}
+}
+
+// GetBool returns the bool stored under key.
+func (o Options) GetBool(key string) (bool, bool) {
+	v, ok := o[key].(bool)
+	return v, ok
+}
+
+// GetInt returns the int64 stored under key.
+func (o Options) GetInt(key string) (int64, bool) {
+	v, ok := o[key].(int64)
+	return v, ok
+}
+
+// GetFloat returns the float64 stored under key. An int64 value is
+// converted, since sweep tools frequently write integer literals for
+// float-typed settings.
+func (o Options) GetFloat(key string) (float64, bool) {
+	switch v := o[key].(type) {
+	case float64:
+		return v, true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// GetString returns the string stored under key.
+func (o Options) GetString(key string) (string, bool) {
+	v, ok := o[key].(string)
+	return v, ok
+}
+
+// GetStrings returns the []string stored under key.
+func (o Options) GetStrings(key string) ([]string, bool) {
+	v, ok := o[key].([]string)
+	return v, ok
+}
+
+// GetBytes returns the []byte stored under key.
+func (o Options) GetBytes(key string) ([]byte, bool) {
+	v, ok := o[key].([]byte)
+	return v, ok
+}
+
+// Keys returns the option keys in sorted order.
+func (o Options) Keys() []string {
+	keys := make([]string, 0, len(o))
+	for k := range o {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns a shallow copy of the options (slice values are shared).
+func (o Options) Clone() Options {
+	out := make(Options, len(o))
+	for k, v := range o {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge copies every entry of other into o, overwriting existing keys.
+func (o Options) Merge(other Options) {
+	for k, v := range other {
+		o[k] = v
+	}
+}
+
+// String renders the options deterministically for logging.
+func (o Options) String() string {
+	s := "{"
+	for i, k := range o.Keys() {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%v", k, o[k])
+	}
+	return s + "}"
+}

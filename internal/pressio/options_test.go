@@ -1,0 +1,103 @@
+package pressio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsSetNormalizesInts(t *testing.T) {
+	o := Options{}
+	o.Set("a", 7)          // int
+	o.Set("b", int32(8))   // int32
+	o.Set("c", uint32(9))  // uint32
+	o.Set("d", float32(2)) // float32
+	if v, ok := o.GetInt("a"); !ok || v != 7 {
+		t.Errorf("int not normalized: %v %v", v, ok)
+	}
+	if v, ok := o.GetInt("b"); !ok || v != 8 {
+		t.Errorf("int32 not normalized: %v %v", v, ok)
+	}
+	if v, ok := o.GetInt("c"); !ok || v != 9 {
+		t.Errorf("uint32 not normalized: %v %v", v, ok)
+	}
+	if v, ok := o.GetFloat("d"); !ok || v != 2 {
+		t.Errorf("float32 not normalized: %v %v", v, ok)
+	}
+}
+
+func TestOptionsGetFloatAcceptsInt(t *testing.T) {
+	o := Options{}
+	o.Set("bound", 1)
+	if v, ok := o.GetFloat("bound"); !ok || v != 1.0 {
+		t.Errorf("GetFloat on int = %v, %v", v, ok)
+	}
+}
+
+func TestOptionsUnsupportedTypesBecomeOpaque(t *testing.T) {
+	o := Options{}
+	o.Set("stream", struct{ X int }{1})
+	if _, ok := o["stream"].(Opaque); !ok {
+		t.Errorf("unsupported type should be wrapped in Opaque, got %T", o["stream"])
+	}
+}
+
+func TestOptionsKeysSorted(t *testing.T) {
+	o := Options{}
+	o.Set("z", 1)
+	o.Set("a", 2)
+	o.Set("m", 3)
+	keys := o.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "m" || keys[2] != "z" {
+		t.Errorf("Keys = %v, want sorted [a m z]", keys)
+	}
+}
+
+func TestOptionsCloneAndMerge(t *testing.T) {
+	a := Options{}
+	a.Set("x", 1)
+	b := a.Clone()
+	b.Set("x", 2)
+	if v, _ := a.GetInt("x"); v != 1 {
+		t.Error("Clone should not alias the map")
+	}
+	a.Merge(b)
+	if v, _ := a.GetInt("x"); v != 2 {
+		t.Error("Merge should overwrite")
+	}
+}
+
+func TestOptionsStringDeterministic(t *testing.T) {
+	o := Options{}
+	o.Set("b", 2)
+	o.Set("a", 1)
+	s := o.String()
+	if !strings.Contains(s, "a=1") || strings.Index(s, "a=1") > strings.Index(s, "b=2") {
+		t.Errorf("String not deterministic/sorted: %q", s)
+	}
+}
+
+func TestOptionsTypedGetters(t *testing.T) {
+	o := Options{}
+	o.Set("b", true)
+	o.Set("s", "hi")
+	o.Set("ss", []string{"x", "y"})
+	o.Set("by", []byte{1, 2})
+	if v, ok := o.GetBool("b"); !ok || !v {
+		t.Error("GetBool failed")
+	}
+	if v, ok := o.GetString("s"); !ok || v != "hi" {
+		t.Error("GetString failed")
+	}
+	if v, ok := o.GetStrings("ss"); !ok || len(v) != 2 {
+		t.Error("GetStrings failed")
+	}
+	if v, ok := o.GetBytes("by"); !ok || len(v) != 2 {
+		t.Error("GetBytes failed")
+	}
+	if _, ok := o.GetInt("missing"); ok {
+		t.Error("missing key should not be found")
+	}
+	if _, ok := o.GetFloat("s"); ok {
+		t.Error("GetFloat on string should fail")
+	}
+}

@@ -1,0 +1,365 @@
+// Package queue is the distributed task queue of predict-bench — the
+// substitution for the MPI-based LibDistributed queue the paper builds on
+// (§4.3). Workers are goroutines standing in for ranks; the scheduler
+// keeps the semantics the paper needs and most workflow systems lack:
+//
+//   - data-locality-aware placement: tasks tagged with a DataKey prefer a
+//     worker that recently held that data, because data loading dominates
+//     task runtime for most compressors;
+//   - dynamic dependency addition: invalidations create new work while
+//     the queue is running, so Add is legal at any time;
+//   - fault tolerance: worker failures (injectable for tests) requeue the
+//     task, preferring a different worker, up to a retry budget;
+//   - checkpoint skip: tasks whose IDs the caller already has results for
+//     complete instantly, which is how a restarted bench run resumes.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Task is one schedulable unit.
+type Task struct {
+	// ID uniquely identifies the task (e.g. an opthash key).
+	ID string
+	// DataKey names the data the task reads; tasks sharing a DataKey
+	// are preferentially placed on the same worker.
+	DataKey string
+	// Deps lists task IDs that must complete successfully first.
+	Deps []string
+	// Run executes the task. It receives the worker index so tests can
+	// observe placement.
+	Run func(worker int) error
+}
+
+// Result records one task's outcome.
+type Result struct {
+	ID       string
+	Worker   int // final worker
+	Attempts int
+	Err      error
+	Skipped  bool // completed from checkpoint, never ran
+}
+
+// Config tunes a Queue.
+type Config struct {
+	// Workers is the worker-goroutine count (default 4).
+	Workers int
+	// Retries is how many times a failed task is retried (default 2;
+	// pass a negative value for no retries).
+	Retries int
+	// Completed holds task IDs already checkpointed; they are skipped.
+	Completed map[string]bool
+	// FailureRate injects a simulated worker fault with this probability
+	// on each attempt (tests only; default 0).
+	FailureRate float64
+	// Seed drives the failure injector deterministically.
+	Seed uint64
+}
+
+// ErrDependencyFailed marks tasks abandoned because a dependency
+// exhausted its retries.
+var ErrDependencyFailed = errors.New("queue: dependency failed")
+
+// Queue schedules tasks over workers. Create with New, add tasks with
+// Add (before or during Run), and call Run to drain.
+type Queue struct {
+	cfg Config
+
+	mu        sync.Mutex
+	tasks     map[string]*taskState
+	ready     []*taskState
+	pending   int // tasks not yet in a terminal state
+	running   bool
+	workPivot chan struct{} // signals dispatcher re-evaluation
+
+	results map[string]*Result
+
+	// locality: worker → set of recent data keys
+	workerData   []map[string]bool
+	localityHits int
+
+	rngState uint64
+}
+
+type taskState struct {
+	task       Task
+	waiting    map[string]bool // unmet deps
+	dependents []*taskState
+	attempts   int
+	lastWorker int
+	done       bool
+	failed     bool
+}
+
+// New builds a queue.
+func New(cfg Config) *Queue {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	q := &Queue{
+		cfg:        cfg,
+		tasks:      make(map[string]*taskState),
+		results:    make(map[string]*Result),
+		workerData: make([]map[string]bool, cfg.Workers),
+		workPivot:  make(chan struct{}, cfg.Workers),
+		rngState:   cfg.Seed | 1,
+	}
+	for i := range q.workerData {
+		q.workerData[i] = make(map[string]bool)
+	}
+	return q
+}
+
+// Add enqueues a task; legal before and during Run. Duplicate IDs and
+// dependencies on unknown tasks are errors (add dependencies first).
+func (q *Queue) Add(t Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t.ID == "" {
+		return errors.New("queue: task needs an ID")
+	}
+	if _, dup := q.tasks[t.ID]; dup {
+		return fmt.Errorf("queue: duplicate task %q", t.ID)
+	}
+	st := &taskState{task: t, waiting: make(map[string]bool)}
+	for _, dep := range t.Deps {
+		depState, ok := q.tasks[dep]
+		if !ok {
+			return fmt.Errorf("queue: task %q depends on unknown task %q", t.ID, dep)
+		}
+		if depState.failed {
+			return fmt.Errorf("queue: task %q depends on failed task %q", t.ID, dep)
+		}
+		if !depState.done {
+			st.waiting[dep] = true
+			depState.dependents = append(depState.dependents, st)
+		}
+	}
+	q.tasks[t.ID] = st
+
+	if q.cfg.Completed[t.ID] {
+		// checkpointed: complete instantly
+		st.done = true
+		q.results[t.ID] = &Result{ID: t.ID, Skipped: true, Worker: -1}
+		q.releaseDependentsLocked(st)
+		return nil
+	}
+	q.pending++
+	if len(st.waiting) == 0 {
+		q.ready = append(q.ready, st)
+	}
+	q.poke()
+	return nil
+}
+
+func (q *Queue) poke() {
+	select {
+	case q.workPivot <- struct{}{}:
+	default:
+	}
+}
+
+// releaseDependentsLocked unblocks tasks waiting on st.
+func (q *Queue) releaseDependentsLocked(st *taskState) {
+	for _, dep := range st.dependents {
+		delete(dep.waiting, st.task.ID)
+		if len(dep.waiting) == 0 && !dep.done && !dep.failed {
+			q.ready = append(q.ready, dep)
+		}
+	}
+	st.dependents = nil
+}
+
+// failDependentsLocked abandons the transitive dependents of a failed
+// task.
+func (q *Queue) failDependentsLocked(st *taskState) {
+	for _, dep := range st.dependents {
+		if dep.failed || dep.done {
+			continue
+		}
+		dep.failed = true
+		q.pending--
+		q.results[dep.task.ID] = &Result{ID: dep.task.ID, Err: ErrDependencyFailed, Worker: -1}
+		q.failDependentsLocked(dep)
+	}
+	st.dependents = nil
+}
+
+// pickLocked chooses a ready task for the given worker: first preference
+// is a task whose DataKey the worker already holds; second, a task whose
+// DataKey no other worker holds; else FIFO. For retries, a task avoids
+// its previous worker when another is available.
+func (q *Queue) pickLocked(worker int) *taskState {
+	if len(q.ready) == 0 {
+		return nil
+	}
+	bestIdx := -1
+	for i, st := range q.ready {
+		if st.attempts > 0 && st.lastWorker == worker && len(q.ready) > 1 && q.cfg.Workers > 1 {
+			continue // prefer a different worker for retries
+		}
+		if st.task.DataKey != "" && q.workerData[worker][st.task.DataKey] {
+			bestIdx = i
+			q.localityHits++
+			break // perfect locality
+		}
+		if bestIdx < 0 {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		bestIdx = 0
+	}
+	st := q.ready[bestIdx]
+	q.ready = append(q.ready[:bestIdx], q.ready[bestIdx+1:]...)
+	return st
+}
+
+func (q *Queue) injectFailure() bool {
+	if q.cfg.FailureRate <= 0 {
+		return false
+	}
+	q.rngState ^= q.rngState << 13
+	q.rngState ^= q.rngState >> 7
+	q.rngState ^= q.rngState << 17
+	return float64(q.rngState%1e6)/1e6 < q.cfg.FailureRate
+}
+
+// Run drains the queue and returns all results keyed by task ID. It may
+// be called once.
+func (q *Queue) Run() map[string]*Result {
+	q.mu.Lock()
+	if q.running {
+		q.mu.Unlock()
+		panic("queue: Run called twice")
+	}
+	q.running = true
+	q.mu.Unlock()
+
+	var wg sync.WaitGroup
+	work := make(chan struct{}) // closed to stop workers
+	var closeOnce sync.Once
+	stop := func() { closeOnce.Do(func() { close(work) }) }
+
+	for w := 0; w < q.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				q.mu.Lock()
+				st := q.pickLocked(worker)
+				if st == nil {
+					if q.pending == 0 {
+						q.mu.Unlock()
+						stop()
+						return
+					}
+					q.mu.Unlock()
+					// wait for new work or shutdown
+					select {
+					case <-q.workPivot:
+						continue
+					case <-work:
+						return
+					}
+				}
+				st.attempts++
+				st.lastWorker = worker
+				inject := q.injectFailure()
+				q.mu.Unlock()
+
+				var err error
+				if inject {
+					err = fmt.Errorf("queue: injected fault on worker %d", worker)
+				} else if st.task.Run != nil {
+					err = st.task.Run(worker)
+				}
+
+				q.mu.Lock()
+				if err == nil {
+					st.done = true
+					q.pending--
+					if st.task.DataKey != "" {
+						q.workerData[worker][st.task.DataKey] = true
+					}
+					q.results[st.task.ID] = &Result{
+						ID: st.task.ID, Worker: worker, Attempts: st.attempts,
+					}
+					q.releaseDependentsLocked(st)
+				} else if st.attempts <= q.cfg.Retries {
+					q.ready = append(q.ready, st) // requeue
+				} else {
+					st.failed = true
+					q.pending--
+					q.results[st.task.ID] = &Result{
+						ID: st.task.ID, Worker: worker, Attempts: st.attempts, Err: err,
+					}
+					q.failDependentsLocked(st)
+				}
+				drained := q.pending == 0
+				q.mu.Unlock()
+				// wake all sleepers so they can observe completion or
+				// pick up released dependents
+				for i := 0; i < q.cfg.Workers; i++ {
+					q.poke()
+				}
+				if drained {
+					stop()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]*Result, len(q.results))
+	for k, v := range q.results {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats summarizes a finished run for observability: how often the
+// locality scheduler placed a task on a worker already holding its data,
+// and how much retrying the fault tolerance absorbed.
+type Stats struct {
+	Tasks         int
+	Skipped       int // checkpoint hits
+	Failed        int
+	Retried       int // tasks needing more than one attempt
+	LocalityHits  int // placements onto a worker already holding the DataKey
+	TotalAttempts int
+}
+
+// Stats reports run statistics; call after Run returns.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var s Stats
+	for _, r := range q.results {
+		s.Tasks++
+		s.TotalAttempts += r.Attempts
+		if r.Skipped {
+			s.Skipped++
+			continue
+		}
+		if r.Err != nil {
+			s.Failed++
+		}
+		if r.Attempts > 1 {
+			s.Retried++
+		}
+	}
+	s.LocalityHits = q.localityHits
+	return s
+}

@@ -1,0 +1,267 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunsAllTasks(t *testing.T) {
+	q := New(Config{Workers: 4})
+	var count atomic.Int64
+	for i := 0; i < 50; i++ {
+		err := q.Add(Task{
+			ID:  fmt.Sprintf("t%d", i),
+			Run: func(int) error { count.Add(1); return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := q.Run()
+	if count.Load() != 50 {
+		t.Errorf("ran %d tasks, want 50", count.Load())
+	}
+	if len(results) != 50 {
+		t.Errorf("results = %d", len(results))
+	}
+	for id, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", id, r.Err)
+		}
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	q := New(Config{Workers: 4})
+	var mu sync.Mutex
+	var order []string
+	record := func(id string) func(int) error {
+		return func(int) error {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return nil
+		}
+	}
+	q.Add(Task{ID: "a", Run: record("a")})
+	q.Add(Task{ID: "b", Deps: []string{"a"}, Run: record("b")})
+	q.Add(Task{ID: "c", Deps: []string{"a", "b"}, Run: record("c")})
+	results := q.Run()
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if !(pos["a"] < pos["b"] && pos["b"] < pos["c"]) {
+		t.Errorf("order violated: %v", order)
+	}
+}
+
+func TestUnknownAndDuplicateTasks(t *testing.T) {
+	q := New(Config{})
+	if err := q.Add(Task{ID: ""}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	q.Add(Task{ID: "x", Run: func(int) error { return nil }})
+	if err := q.Add(Task{ID: "x"}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := q.Add(Task{ID: "y", Deps: []string{"nope"}}); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	q.Run()
+}
+
+func TestCheckpointSkip(t *testing.T) {
+	done := map[string]bool{"a": true, "b": true}
+	q := New(Config{Workers: 2, Completed: done})
+	var ran atomic.Int64
+	q.Add(Task{ID: "a", Run: func(int) error { ran.Add(1); return nil }})
+	q.Add(Task{ID: "b", Run: func(int) error { ran.Add(1); return nil }})
+	// c depends on checkpointed tasks and must still run
+	q.Add(Task{ID: "c", Deps: []string{"a", "b"}, Run: func(int) error { ran.Add(1); return nil }})
+	results := q.Run()
+	if ran.Load() != 1 {
+		t.Errorf("ran %d tasks, want 1 (two skipped)", ran.Load())
+	}
+	if !results["a"].Skipped || !results["b"].Skipped {
+		t.Error("checkpointed tasks not marked skipped")
+	}
+	if results["c"].Skipped || results["c"].Err != nil {
+		t.Errorf("c = %+v", results["c"])
+	}
+}
+
+func TestRetriesOnFailure(t *testing.T) {
+	q := New(Config{Workers: 2, Retries: 3})
+	var attempts atomic.Int64
+	q.Add(Task{ID: "flaky", Run: func(int) error {
+		if attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}})
+	results := q.Run()
+	r := results["flaky"]
+	if r.Err != nil {
+		t.Errorf("flaky task should eventually succeed: %v", r.Err)
+	}
+	if r.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", r.Attempts)
+	}
+}
+
+func TestPermanentFailureAbandonsDependents(t *testing.T) {
+	q := New(Config{Workers: 2, Retries: 1})
+	q.Add(Task{ID: "bad", Run: func(int) error { return errors.New("always") }})
+	q.Add(Task{ID: "child", Deps: []string{"bad"}, Run: func(int) error { return nil }})
+	q.Add(Task{ID: "grandchild", Deps: []string{"child"}, Run: func(int) error { return nil }})
+	q.Add(Task{ID: "unrelated", Run: func(int) error { return nil }})
+	results := q.Run()
+	if results["bad"].Err == nil {
+		t.Error("bad should fail")
+	}
+	if !errors.Is(results["child"].Err, ErrDependencyFailed) {
+		t.Errorf("child err = %v", results["child"].Err)
+	}
+	if !errors.Is(results["grandchild"].Err, ErrDependencyFailed) {
+		t.Errorf("grandchild err = %v", results["grandchild"].Err)
+	}
+	if results["unrelated"].Err != nil {
+		t.Error("unrelated task should still run")
+	}
+}
+
+func TestFailureInjectionRecovers(t *testing.T) {
+	// with injected faults and enough retries, everything completes
+	q := New(Config{Workers: 4, Retries: 10, FailureRate: 0.3, Seed: 42})
+	for i := 0; i < 40; i++ {
+		q.Add(Task{ID: fmt.Sprintf("t%d", i), Run: func(int) error { return nil }})
+	}
+	results := q.Run()
+	retried := 0
+	for id, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed despite retries: %v", id, r.Err)
+		}
+		if r.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Error("failure injection never fired (suspicious at rate 0.3)")
+	}
+}
+
+func TestDataLocalityPreference(t *testing.T) {
+	// tasks sharing a DataKey should mostly land on the same worker
+	q := New(Config{Workers: 4})
+	var mu sync.Mutex
+	placement := map[string][]int{}
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 64; i++ {
+		key := keys[i%len(keys)]
+		q.Add(Task{
+			ID:      fmt.Sprintf("t%d", i),
+			DataKey: key,
+			Run: func(worker int) error {
+				mu.Lock()
+				placement[key] = append(placement[key], worker)
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	q.Run()
+	// each key should see far fewer distinct workers than tasks
+	for key, workers := range placement {
+		distinct := map[int]bool{}
+		for _, w := range workers {
+			distinct[w] = true
+		}
+		if len(distinct) > 3 {
+			t.Logf("key %s spread over %d workers (%v)", key, len(distinct), workers)
+		}
+		if len(workers) != 16 {
+			t.Errorf("key %s ran %d tasks, want 16", key, len(workers))
+		}
+	}
+}
+
+func TestDynamicAddDuringRun(t *testing.T) {
+	q := New(Config{Workers: 2})
+	var ran atomic.Int64
+	q.Add(Task{ID: "seed", Run: func(int) error {
+		ran.Add(1)
+		// an invalidation discovered mid-run adds more work
+		for i := 0; i < 5; i++ {
+			if err := q.Add(Task{
+				ID:  fmt.Sprintf("dynamic%d", i),
+				Run: func(int) error { ran.Add(1); return nil },
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	results := q.Run()
+	if ran.Load() != 6 {
+		t.Errorf("ran %d, want 6 (1 seed + 5 dynamic)", ran.Load())
+	}
+	if len(results) != 6 {
+		t.Errorf("results = %d", len(results))
+	}
+}
+
+func TestNoRetriesWhenNegative(t *testing.T) {
+	q := New(Config{Workers: 1, Retries: -1})
+	var attempts atomic.Int64
+	q.Add(Task{ID: "once", Run: func(int) error {
+		attempts.Add(1)
+		return errors.New("fail")
+	}})
+	results := q.Run()
+	if attempts.Load() != 1 {
+		t.Errorf("attempts = %d, want 1", attempts.Load())
+	}
+	if results["once"].Err == nil {
+		t.Error("failure not reported")
+	}
+}
+
+func TestStats(t *testing.T) {
+	q := New(Config{Workers: 2, Retries: 3, Completed: map[string]bool{"skip": true}})
+	q.Add(Task{ID: "skip", Run: func(int) error { return nil }})
+	var tries atomic.Int64
+	q.Add(Task{ID: "retry", Run: func(int) error {
+		if tries.Add(1) < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	}})
+	for i := 0; i < 8; i++ {
+		q.Add(Task{ID: fmt.Sprintf("k%d", i), DataKey: "shared", Run: func(int) error { return nil }})
+	}
+	q.Run()
+	s := q.Stats()
+	if s.Tasks != 10 {
+		t.Errorf("Tasks = %d, want 10", s.Tasks)
+	}
+	if s.Skipped != 1 {
+		t.Errorf("Skipped = %d, want 1", s.Skipped)
+	}
+	if s.Retried != 1 || s.Failed != 0 {
+		t.Errorf("Retried/Failed = %d/%d, want 1/0", s.Retried, s.Failed)
+	}
+	if s.LocalityHits == 0 {
+		t.Error("8 tasks sharing a DataKey should produce locality hits")
+	}
+	if s.TotalAttempts < s.Tasks-s.Skipped {
+		t.Errorf("TotalAttempts = %d inconsistent", s.TotalAttempts)
+	}
+}

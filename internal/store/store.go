@@ -1,0 +1,291 @@
+// Package store is the embedded checkpoint database of predict-bench —
+// the substitution for the paper's SQLite layer (§4.3). It provides the
+// two properties the paper chose SQLite for:
+//
+//   - atomicity: records are CRC-framed in an append-only write-ahead
+//     log; a crash mid-write leaves a torn tail that recovery truncates,
+//     so no partial result is ever observed;
+//   - queryable partial restore: records are indexed by key (stable
+//     option-structure hashes from package opthash) and can be listed by
+//     prefix, so a restarted run reloads only the metric results it
+//     already computed.
+//
+// Compact rewrites the live set into a snapshot with an atomic rename,
+// bounding log growth across many checkpoint/restart cycles.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	opPut    = byte(1)
+	opDelete = byte(2)
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a durable string-keyed record store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	wal    *os.File
+	data   map[string][]byte
+	closed bool
+	// Sync controls whether every Put fsyncs the log (durable against
+	// power loss) or leaves flushing to the OS (durable against process
+	// crashes only, much faster). Defaults to false, as predict-bench
+	// re-runs cheaply relative to fsync-per-record at scale.
+	Sync bool
+}
+
+// Open loads (or creates) a store rooted at dir, replaying the snapshot
+// and write-ahead log. A torn record at the log tail — the signature of a
+// crash mid-append — is discarded and the log truncated to the last good
+// record.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, data: make(map[string][]byte)}
+
+	// snapshot first, then the log on top
+	if snap, err := os.ReadFile(s.snapshotPath()); err == nil {
+		if err := s.replay(snap, nil); err != nil {
+			return nil, fmt.Errorf("store: corrupt snapshot: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	logBytes, err := os.ReadFile(s.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		logBytes = nil
+	} else if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	goodLen := 0
+	if err := s.replay(logBytes, &goodLen); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if goodLen < len(logBytes) {
+		// torn tail: truncate to the last whole record
+		if err := os.Truncate(s.walPath(), int64(goodLen)); err != nil {
+			return nil, fmt.Errorf("store: truncating torn log: %w", err)
+		}
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.db") }
+
+// replay applies framed records from buf to the in-memory map. When
+// goodLen is non-nil, a torn/corrupt tail is tolerated and *goodLen
+// reports the length of the valid prefix; when nil, any corruption is an
+// error (snapshots are written atomically and must be whole).
+func (s *Store) replay(buf []byte, goodLen *int) error {
+	off := 0
+	for off < len(buf) {
+		rec, n, err := decodeRecord(buf[off:])
+		if err != nil {
+			if goodLen != nil {
+				*goodLen = off
+				return nil
+			}
+			return err
+		}
+		switch rec.op {
+		case opPut:
+			s.data[rec.key] = rec.value
+		case opDelete:
+			delete(s.data, rec.key)
+		}
+		off += n
+	}
+	if goodLen != nil {
+		*goodLen = off
+	}
+	return nil
+}
+
+type record struct {
+	op    byte
+	key   string
+	value []byte
+}
+
+// frame: u32 crc (of the rest), u8 op, u32 keyLen, u32 valLen, key, val
+func encodeRecord(op byte, key string, value []byte) []byte {
+	body := make([]byte, 0, 9+len(key)+len(value))
+	body = append(body, op)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(key)))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(value)))
+	body = append(body, key...)
+	body = append(body, value...)
+	out := make([]byte, 0, 4+len(body))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	return append(out, body...)
+}
+
+func decodeRecord(buf []byte) (record, int, error) {
+	if len(buf) < 13 {
+		return record{}, 0, io.ErrUnexpectedEOF
+	}
+	crc := binary.LittleEndian.Uint32(buf)
+	op := buf[4]
+	keyLen := int(binary.LittleEndian.Uint32(buf[5:]))
+	valLen := int(binary.LittleEndian.Uint32(buf[9:]))
+	total := 13 + keyLen + valLen
+	if keyLen < 0 || valLen < 0 || len(buf) < total {
+		return record{}, 0, io.ErrUnexpectedEOF
+	}
+	body := buf[4:total]
+	if crc32.ChecksumIEEE(body) != crc {
+		return record{}, 0, errors.New("store: bad record checksum")
+	}
+	key := string(buf[13 : 13+keyLen])
+	value := append([]byte(nil), buf[13+keyLen:total]...)
+	return record{op: op, key: key, value: value}, total, nil
+}
+
+// Put durably stores value under key (last write wins).
+func (s *Store) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := encodeRecord(opPut, key, value)
+	if _, err := s.wal.Write(rec); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.Sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.data[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Delete removes key; deleting a missing key is not an error.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.data[key]; !ok {
+		return nil
+	}
+	rec := encodeRecord(opDelete, key, nil)
+	if _, err := s.wal.Write(rec); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// Keys returns the stored keys with the given prefix, sorted — the
+// partial-restore query predict-bench uses to find finished tasks.
+func (s *Store) Keys(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Compact writes the live set as a snapshot (atomic rename) and truncates
+// the log.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var snap []byte
+	for _, k := range keys {
+		snap = append(snap, encodeRecord(opPut, k, s.data[k])...)
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log; the store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}

@@ -1,0 +1,315 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("a")
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := s.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Error("deleted key still present")
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Error("deleting a missing key should not error")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("x", []byte("hello"))
+	s.Put("y", []byte("world"))
+	s.Put("x", []byte("hello2")) // overwrite
+	s.Delete("y")
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok, _ := s2.Get("x")
+	if !ok || string(v) != "hello2" {
+		t.Errorf("x = %q, %v", v, ok)
+	}
+	if _, ok, _ := s2.Get("y"); ok {
+		t.Error("deleted key resurrected")
+	}
+	if s2.Len() != 1 {
+		t.Errorf("Len = %d", s2.Len())
+	}
+}
+
+func TestCrashRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("good", []byte("value"))
+	s.Close()
+
+	// simulate a crash mid-append: write half a record
+	wal := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe}) // garbage partial frame
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	if _, ok, _ := s2.Get("good"); !ok {
+		t.Error("whole record lost during recovery")
+	}
+	// the store must be writable after recovery (tail truncated)
+	if err := s2.Put("after", []byte("crash")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, ok, _ := s3.Get("after"); !ok {
+		t.Error("post-recovery write lost")
+	}
+}
+
+func TestCorruptMiddleRecordDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	// flip a byte inside the first record: both records after the flip
+	// point are untrusted
+	wal := filepath.Join(dir, "wal.log")
+	raw, _ := os.ReadFile(wal)
+	raw[6] ^= 0xFF
+	os.WriteFile(wal, raw, 0o644)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Errorf("corrupt head should drop everything, Len = %d", s2.Len())
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	defer s.Close()
+	s.Put("metric/a", []byte("1"))
+	s.Put("metric/b", []byte("2"))
+	s.Put("target/a", []byte("3"))
+	keys, err := s.Keys("metric/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "metric/a" || keys[1] != "metric/b" {
+		t.Errorf("Keys = %v", keys)
+	}
+	all, _ := s.Keys("")
+	if len(all) != 3 {
+		t.Errorf("all keys = %v", all)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for i := 0; i < 100; i++ {
+		s.Put("k", []byte(fmt.Sprintf("v%d", i))) // 100 versions of one key
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// log should now be empty; snapshot holds the live set
+	info, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil || info.Size() != 0 {
+		t.Errorf("wal not truncated: %v bytes", info.Size())
+	}
+	s.Put("k2", []byte("after-compact"))
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok, _ := s2.Get("k")
+	if !ok || string(v) != "v99" {
+		t.Errorf("k = %q, %v after compact+reopen", v, ok)
+	}
+	if _, ok, _ := s2.Get("k2"); !ok {
+		t.Error("post-compact write lost")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Close()
+	if err := s.Put("x", nil); err != ErrClosed {
+		t.Errorf("Put after close = %v", err)
+	}
+	if _, _, err := s.Get("x"); err != ErrClosed {
+		t.Errorf("Get after close = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d/k%d", g, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Errorf("Len = %d, want 400", s.Len())
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 400 {
+		t.Errorf("reopened Len = %d, want 400", s2.Len())
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	defer s.Close()
+	f := func(key string, value []byte) bool {
+		if key == "" {
+			return true
+		}
+		if err := s.Put(key, value); err != nil {
+			return false
+		}
+		got, ok, err := s.Get(key)
+		if err != nil || !ok || len(got) != len(value) {
+			return false
+		}
+		for i := range value {
+			if got[i] != value[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModelBasedRandomOps drives the store with a random operation
+// sequence (put/delete/compact/reopen) and cross-checks every read
+// against an in-memory model — the strongest guard on the WAL/snapshot
+// interplay.
+func TestModelBasedRandomOps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(99))
+	keys := []string{"a", "b", "c", "d/e", "d/f", "long/key/with/segments"}
+
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // put
+			k := keys[rng.Intn(len(keys))]
+			v := fmt.Sprintf("v%d", rng.Intn(1000))
+			if err := s.Put(k, []byte(v)); err != nil {
+				t.Fatalf("step %d: Put: %v", step, err)
+			}
+			model[k] = v
+		case 5, 6: // delete
+			k := keys[rng.Intn(len(keys))]
+			if err := s.Delete(k); err != nil {
+				t.Fatalf("step %d: Delete: %v", step, err)
+			}
+			delete(model, k)
+		case 7: // compact
+			if err := s.Compact(); err != nil {
+				t.Fatalf("step %d: Compact: %v", step, err)
+			}
+		case 8: // reopen
+			if err := s.Close(); err != nil {
+				t.Fatalf("step %d: Close: %v", step, err)
+			}
+			s, err = Open(dir)
+			if err != nil {
+				t.Fatalf("step %d: reopen: %v", step, err)
+			}
+		case 9: // verify a random key
+			k := keys[rng.Intn(len(keys))]
+			got, ok, err := s.Get(k)
+			if err != nil {
+				t.Fatalf("step %d: Get: %v", step, err)
+			}
+			want, inModel := model[k]
+			if ok != inModel || (ok && string(got) != want) {
+				t.Fatalf("step %d: Get(%q) = %q,%v; model %q,%v", step, k, got, ok, want, inModel)
+			}
+		}
+	}
+	// full final sweep
+	if s.Len() != len(model) {
+		t.Errorf("Len = %d, model has %d", s.Len(), len(model))
+	}
+	for k, want := range model {
+		got, ok, _ := s.Get(k)
+		if !ok || string(got) != want {
+			t.Errorf("final: %q = %q,%v; want %q", k, got, ok, want)
+		}
+	}
+	s.Close()
+}
