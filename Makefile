@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check stress bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full verification gate: vet, build, and the complete
+# test suite under the race detector. -short skips the long queue
+# stress test; run `make stress` to include it.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race -short ./...
+
+stress:
+	$(GO) test -race -run TestStress ./internal/queue/ -v
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -15,39 +15,54 @@
 // -workers. Defaults reproduce the paper's setup (13 fields × 48
 // timesteps, bounds 1e-6 and 1e-4, SZ3 + ZFP, 10-fold CV) on the
 // synthetic Hurricane grid.
+//
+// Resilience knobs: -task-timeout bounds each observation attempt,
+// -retries sets the per-task retry budget, and -fault-plan scripts
+// deterministic failures (see package faultinject) for drills. SIGINT
+// or SIGTERM cancels the run gracefully: finished cells stay
+// checkpointed and the command prints how to resume.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/cliutil"
+	"repro/internal/faultinject"
 )
 
 func main() {
 	var (
-		table2    = flag.Bool("table2", false, "run the Table-2 evaluation (default action)")
-		baseline  = flag.Bool("baseline", false, "measure compressor baselines only")
-		ablation  = flag.String("ablation", "", "run an ablation: svd | jin")
-		fields    = flag.String("fields", "", "comma-separated Hurricane fields (default all 13)")
-		steps     = flag.Int("steps", 0, "timesteps (default 48)")
-		dims      = flag.String("dims", "", "grid dims ZxYxX (default 32x64x64)")
-		bounds    = flag.String("bounds", "", "comma-separated abs bounds (default 1e-6,1e-4)")
-		schemes   = flag.String("schemes", "", "comma-separated schemes (default khan2023,jin2022,rahman2023)")
-		folds     = flag.Int("folds", 0, "cross-validation folds (default 10)")
-		workers   = flag.Int("workers", 0, "queue workers (default 4)")
-		storeDir  = flag.String("store", "", "checkpoint directory (enables restart)")
-		inSample  = flag.Bool("insample", false, "in-sample CV (paper future-work #1) instead of out-of-sample grouping")
-		target    = flag.String("target", "cr", "prediction target: cr | bandwidth (future-work #4)")
-		reps      = flag.Int("replicates", 0, "compressor-run replicates per cell for runtime targets (default 1)")
-		serve     = flag.String("serve", "", "run as a TCP observation worker on this address and block (e.g. :7777)")
-		remote    = flag.String("remote", "", "comma-separated worker endpoints to fan observation cells out to")
-		format    = flag.String("format", "table", "table2 output format: table | csv")
-		scatter   = flag.String("scatter", "", "emit predicted-vs-actual CSV for scheme,compressor (e.g. rahman2023,sz3)")
-		storeInfo = flag.String("store-info", "", "summarize a checkpoint directory and exit")
-		verbose   = flag.Bool("v", false, "print per-task progress")
+		table2      = flag.Bool("table2", false, "run the Table-2 evaluation (default action)")
+		baseline    = flag.Bool("baseline", false, "measure compressor baselines only")
+		ablation    = flag.String("ablation", "", "run an ablation: svd | jin")
+		fields      = flag.String("fields", "", "comma-separated Hurricane fields (default all 13)")
+		steps       = flag.Int("steps", 0, "timesteps (default 48)")
+		dims        = flag.String("dims", "", "grid dims ZxYxX (default 32x64x64)")
+		bounds      = flag.String("bounds", "", "comma-separated abs bounds (default 1e-6,1e-4)")
+		schemes     = flag.String("schemes", "", "comma-separated schemes (default khan2023,jin2022,rahman2023)")
+		folds       = flag.Int("folds", 0, "cross-validation folds (default 10)")
+		workers     = flag.Int("workers", 0, "queue workers (default 4)")
+		storeDir    = flag.String("store", "", "checkpoint directory (enables restart)")
+		inSample    = flag.Bool("insample", false, "in-sample CV (paper future-work #1) instead of out-of-sample grouping")
+		target      = flag.String("target", "cr", "prediction target: cr | bandwidth (future-work #4)")
+		reps        = flag.Int("replicates", 0, "compressor-run replicates per cell for runtime targets (default 1)")
+		serve       = flag.String("serve", "", "run as a TCP observation worker on this address and block (e.g. :7777)")
+		remote      = flag.String("remote", "", "comma-separated worker endpoints to fan observation cells out to")
+		taskTimeout = flag.Duration("task-timeout", 0, "per-task attempt deadline, e.g. 30s (0 = none)")
+		retries     = flag.Int("retries", 0, "per-task retry budget (default 2, -1 for none)")
+		faultPlan   = flag.String("fault-plan", "", "fault-injection script, inline or @file (resilience drills)")
+		seed        = flag.Int64("seed", 0, "seed for folds, backoff jitter, and fault injection (default 1)")
+		format      = flag.String("format", "table", "table2 output format: table | csv")
+		scatter     = flag.String("scatter", "", "emit predicted-vs-actual CSV for scheme,compressor (e.g. rahman2023,sz3)")
+		storeInfo   = flag.String("store-info", "", "summarize a checkpoint directory and exit")
+		verbose     = flag.Bool("v", false, "print per-task progress")
 	)
 	flag.Parse()
 
@@ -57,17 +72,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "predict-bench: worker listening on %s\n", ln.Addr())
-		select {} // serve until killed
+		// workers shut down cleanly on SIGINT/SIGTERM: stop accepting,
+		// let in-flight observations finish on their connections
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+		ln.Close()
+		fmt.Fprintln(os.Stderr, "predict-bench: worker stopped")
+		return
 	}
 
 	spec := &bench.Spec{
-		Steps:      *steps,
-		Folds:      *folds,
-		Workers:    *workers,
-		StoreDir:   *storeDir,
-		InSample:   *inSample,
-		Target:     *target,
-		Replicates: *reps,
+		Steps:       *steps,
+		Folds:       *folds,
+		Workers:     *workers,
+		StoreDir:    *storeDir,
+		InSample:    *inSample,
+		Target:      *target,
+		Replicates:  *reps,
+		TaskTimeout: *taskTimeout,
+		Retries:     *retries,
+		Seed:        *seed,
 	}
 	if *remote != "" {
 		spec.RemoteWorkers = cliutil.ParseList(*remote)
@@ -92,9 +117,43 @@ func main() {
 		}
 		spec.Bounds = b
 	}
+	if *faultPlan != "" {
+		text := *faultPlan
+		if strings.HasPrefix(text, "@") {
+			raw, err := os.ReadFile(text[1:])
+			if err != nil {
+				fatal(err)
+			}
+			text = string(raw)
+		}
+		planSeed := uint64(*seed)
+		if planSeed == 0 {
+			planSeed = 1
+		}
+		plan, err := faultinject.Parse(planSeed, text)
+		if err != nil {
+			fatal(err)
+		}
+		spec.FaultPlan = plan
+	}
 	if *verbose {
 		spec.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+
+	// graceful shutdown: the first SIGINT/SIGTERM cancels the run
+	// context — in-flight cells finish or are abandoned, completed cells
+	// stay checkpointed, the store is flushed on the way out; a second
+	// signal falls back to default handling and kills the process.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\npredict-bench: interrupted — draining (send again to kill)")
+		cancel()
+		signal.Stop(sigc)
+	}()
 
 	switch {
 	case *storeInfo != "":
@@ -108,11 +167,13 @@ func main() {
 		if len(parts) != 2 {
 			fatal(fmt.Errorf("-scatter wants scheme,compressor"))
 		}
-		obs, err := bench.Collect(spec)
+		res, err := bench.CollectDetailed(ctx, spec)
 		if err != nil {
+			reportInterrupted(ctx, spec)
 			fatal(err)
 		}
-		out, err := bench.Scatter(spec, parts[0], parts[1], obs)
+		reportInterrupted(ctx, spec)
+		out, err := bench.Scatter(spec, parts[0], parts[1], res.Observations)
 		if err != nil {
 			fatal(err)
 		}
@@ -139,10 +200,14 @@ func main() {
 		fatal(fmt.Errorf("unknown ablation %q (want svd or jin)", *ablation))
 	default:
 		_ = table2 // the default action
-		report, err := bench.Run(spec)
+		report, err := bench.RunContext(ctx, spec)
 		if err != nil {
+			// an interrupted run can leave too few cells for evaluation;
+			// the checkpoint is still intact, so say how to resume
+			reportInterrupted(ctx, spec)
 			fatal(err)
 		}
+		reportInterrupted(ctx, spec)
 		if *format == "csv" {
 			fmt.Print(report.CSV())
 		} else {
@@ -154,4 +219,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "predict-bench:", err)
 	os.Exit(1)
+}
+
+// reportInterrupted tells the user how to resume after a cancelled run.
+func reportInterrupted(ctx context.Context, spec *bench.Spec) {
+	if ctx.Err() == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "predict-bench: run interrupted; results below cover completed cells only")
+	if spec.StoreDir != "" {
+		fmt.Fprintf(os.Stderr, "predict-bench: checkpoint flushed — resume with the same flags and -store %s\n", spec.StoreDir)
+	} else {
+		fmt.Fprintln(os.Stderr, "predict-bench: tip: run with -store DIR to make interrupted runs resumable")
+	}
 }

@@ -10,6 +10,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/gob"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	_ "repro/internal/compressor/szx"
 	_ "repro/internal/compressor/zfp"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hurricane"
 	_ "repro/internal/metrics" // register metric plugins
 	"repro/internal/mlkit"
@@ -58,7 +60,18 @@ type Spec struct {
 	Workers int
 	// StoreDir enables checkpointing when non-empty.
 	StoreDir string
-	// FailureRate injects worker faults (tests only).
+	// Retries is the per-task retry budget (default 2; negative for
+	// none).
+	Retries int
+	// TaskTimeout bounds each observation attempt; a hung attempt is
+	// abandoned and retried elsewhere (0 = no deadline). When remote
+	// workers are in play it also bounds each RPC round trip.
+	TaskTimeout time.Duration
+	// FaultPlan scripts deterministic failures across the queue, RPC
+	// pool, and checkpoint store (tests and resilience drills).
+	FaultPlan *faultinject.Plan
+	// FailureRate injects random worker faults with this probability
+	// (tests only); shorthand for a rate rule in FaultPlan.
 	FailureRate float64
 	// Seed drives fold assignment and failure injection.
 	Seed int64
@@ -84,6 +97,9 @@ type Spec struct {
 	// a final queue summary. It is called concurrently from worker
 	// goroutines and must be safe for concurrent use.
 	Progress func(string)
+
+	// poolCfg overrides the remote pool tuning (in-package tests only).
+	poolCfg *poolConfig
 }
 
 // Target values.
@@ -282,10 +298,57 @@ func decodeObservation(b []byte) (*Observation, error) {
 	return &ob, err
 }
 
+// failKey is the checkpoint key recording a cell's last failure.
+func failKey(cellKey string) string { return "fail/" + cellKey }
+
+// CellFailure records one observation cell the run could not complete.
+type CellFailure struct {
+	Key        string
+	Field      string
+	Step       int
+	Bound      float64
+	Compressor string
+	Attempts   int
+	Err        string
+}
+
+// CollectResult is the full outcome of the observation phase: the
+// surviving observations plus everything an operator needs to reason
+// about a degraded run.
+type CollectResult struct {
+	Observations []*Observation
+	Failed       []CellFailure
+	QueueStats   queue.Stats
+	Pool         *PoolStats // nil for local runs
+}
+
 // Collect runs the observation phase: every cell through the queue with
 // checkpoint skip and locality placement, returning all observations.
+// It degrades gracefully — cells that exhaust their retries are dropped
+// (recorded in the checkpoint store when one is configured) and the
+// survivors returned; it errors only when nothing survives.
 func Collect(spec *Spec) ([]*Observation, error) {
+	res, err := CollectDetailed(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.Observations, nil
+}
+
+// CollectDetailed is Collect with whole-run cancellation and the full
+// resilience picture: failed cells, queue statistics, and remote-pool
+// breaker state. Cancelling ctx stops scheduling; already-finished cells
+// stay checkpointed so a rerun resumes where this one stopped.
+func CollectDetailed(ctx context.Context, spec *Spec) (*CollectResult, error) {
 	spec.defaults()
+
+	plan := spec.FaultPlan
+	if plan == nil && spec.FailureRate > 0 {
+		plan = faultinject.New(uint64(spec.Seed), faultinject.Rule{
+			Op: faultinject.OpTask, Kind: faultinject.KindError,
+			Worker: -1, Rate: spec.FailureRate,
+		})
+	}
 
 	var st *store.Store
 	if spec.StoreDir != "" {
@@ -294,6 +357,7 @@ func Collect(spec *Spec) ([]*Observation, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.Inject = plan
 		defer st.Close()
 	}
 
@@ -322,15 +386,34 @@ func Collect(spec *Spec) ([]*Observation, error) {
 
 	q := queue.New(queue.Config{
 		Workers:     spec.Workers,
+		Retries:     spec.Retries,
 		Completed:   completed,
-		FailureRate: spec.FailureRate,
+		TaskTimeout: spec.TaskTimeout,
+		Inject:      plan,
 		Seed:        uint64(spec.Seed),
 	})
 	var pool *remotePool
 	if len(spec.RemoteWorkers) > 0 {
-		pool = newRemotePool(spec.RemoteWorkers)
+		cfg := poolConfig{Inject: plan}
+		if spec.poolCfg != nil {
+			cfg = *spec.poolCfg
+			if cfg.Inject == nil {
+				cfg.Inject = plan
+			}
+		}
+		if spec.TaskTimeout > 0 && cfg.CallTimeout == 0 {
+			cfg.CallTimeout = spec.TaskTimeout
+		}
+		pool = newRemotePool(spec.RemoteWorkers, cfg)
 		defer pool.close()
 	}
+	type cellMeta struct {
+		field      string
+		step       int
+		bound      float64
+		compressor string
+	}
+	meta := map[string]cellMeta{}
 	var keys []string
 	for _, compressor := range spec.Compressors {
 		metricNames, err := featureMetricsFor(spec.Schemes, compressor)
@@ -342,12 +425,13 @@ func Collect(spec *Spec) ([]*Observation, error) {
 				for step := 0; step < spec.Steps; step++ {
 					key := cellKey(spec, field, step, bound, compressor)
 					keys = append(keys, key)
+					meta[key] = cellMeta{field, step, bound, compressor}
 					field, step, bound, compressor := field, step, bound, compressor
 					mn := metricNames
 					err := q.Add(queue.Task{
 						ID:      key,
 						DataKey: fmt.Sprintf("%s/%d", field, step),
-						Run: func(worker int) error {
+						Run: func(_ context.Context, worker int) error {
 							var ob *Observation
 							var err error
 							if pool != nil {
@@ -377,6 +461,9 @@ func Collect(spec *Spec) ([]*Observation, error) {
 								if err := st.Put(key, raw); err != nil {
 									return err
 								}
+								// a success supersedes any failure record
+								// from an earlier run
+								st.Delete(failKey(key))
 							}
 							if spec.Progress != nil {
 								spec.Progress(fmt.Sprintf("%s %s t%02d abs=%g cr=%.2f",
@@ -392,26 +479,64 @@ func Collect(spec *Spec) ([]*Observation, error) {
 			}
 		}
 	}
-	for id, r := range q.Run() {
-		if r.Err != nil {
-			return nil, fmt.Errorf("bench: task %s: %w", id, r.Err)
+
+	// degrade gracefully: record failed cells (checkpointed with their
+	// error so a restarted run retries exactly these) and keep going
+	// with the survivors
+	qResults := q.Run(ctx)
+	res := &CollectResult{QueueStats: q.Stats()}
+	if pool != nil {
+		ps := pool.stats()
+		res.Pool = &ps
+	}
+	for _, key := range keys {
+		r := qResults[key]
+		if r == nil || r.Err == nil {
+			continue
+		}
+		m := meta[key]
+		cf := CellFailure{
+			Key: key, Field: m.field, Step: m.step, Bound: m.bound,
+			Compressor: m.compressor, Attempts: r.Attempts, Err: r.Err.Error(),
+		}
+		res.Failed = append(res.Failed, cf)
+		if st != nil {
+			// best effort: the store may itself be the injected casualty
+			st.Put(failKey(key), []byte(cf.Err))
+		}
+		if spec.Progress != nil {
+			spec.Progress(fmt.Sprintf("FAILED %s %s t%02d abs=%g after %d attempts: %v",
+				m.compressor, m.field, m.step, m.bound, r.Attempts, r.Err))
 		}
 	}
 	if spec.Progress != nil {
-		qs := q.Stats()
+		qs := res.QueueStats
 		spec.Progress(fmt.Sprintf(
-			"queue: %d tasks (%d from checkpoint), %d retried, %d locality hits",
-			qs.Tasks, qs.Skipped, qs.Retried, qs.LocalityHits))
+			"queue: %d tasks (%d from checkpoint), %d retried, %d failed, %d timed out, %d locality hits",
+			qs.Tasks, qs.Skipped, qs.Retried, qs.Failed, qs.TimedOut, qs.LocalityHits))
+		if res.Pool != nil {
+			for _, ep := range res.Pool.Endpoints {
+				spec.Progress(fmt.Sprintf("endpoint %s: %d calls, %d failures, breaker %s %v",
+					ep.Addr, ep.Calls, ep.Failures, ep.State, ep.Transitions))
+			}
+			if res.Pool.Repins > 0 {
+				spec.Progress(fmt.Sprintf("pool: %d worker-slot re-pins (failover)", res.Pool.Repins))
+			}
+		}
 	}
-	out := make([]*Observation, 0, len(keys))
 	for _, k := range keys {
 		ob, ok := results[k]
 		if !ok {
-			return nil, fmt.Errorf("bench: missing observation %s", k)
+			continue // failed cell: degraded, not fatal
 		}
-		out = append(out, ob)
+		res.Observations = append(res.Observations, ob)
 	}
-	return out, nil
+	if len(res.Observations) == 0 && len(res.Failed) > 0 {
+		first := res.Failed[0]
+		return nil, fmt.Errorf("bench: no cell survived (%d failed; first: %s: %s)",
+			len(res.Failed), first.Key, first.Err)
+	}
+	return res, nil
 }
 
 type meanStd struct {
@@ -452,10 +577,13 @@ type MethodRow struct {
 	Supported bool
 }
 
-// Report is the full Table-2 reproduction.
+// Report is the full Table-2 reproduction. Failed lists observation
+// cells the run could not complete (graceful degradation): the rows are
+// computed over the surviving cells only.
 type Report struct {
 	Baselines []BaselineRow
 	Rows      []MethodRow
+	Failed    []CellFailure
 }
 
 // Evaluate turns observations into the Table-2 report using group k-fold
@@ -498,11 +626,24 @@ func Evaluate(spec *Spec, obs []*Observation) (*Report, error) {
 
 // Run is Collect + Evaluate.
 func Run(spec *Spec) (*Report, error) {
-	obs, err := Collect(spec)
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with whole-run cancellation: on ctx cancellation the
+// observation phase stops, finished cells stay checkpointed, and the
+// report is evaluated over the surviving observations with the failed
+// cells marked.
+func RunContext(ctx context.Context, spec *Spec) (*Report, error) {
+	res, err := CollectDetailed(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
-	return Evaluate(spec, obs)
+	report, err := Evaluate(spec, res.Observations)
+	if err != nil {
+		return nil, err
+	}
+	report.Failed = res.Failed
+	return report, nil
 }
 
 func evaluateScheme(spec *Spec, schemeName, compressor string, cobs []*Observation) (*MethodRow, error) {
@@ -699,6 +840,13 @@ func (r *Report) Table2() string {
 				orNA(row.HasFit, row.Fit),
 				orNA(row.HasInfer, row.Infer),
 				"", medape)
+		}
+	}
+	if len(r.Failed) > 0 {
+		fmt.Fprintf(&b, "\nWARNING: %d cell(s) failed; rows above cover surviving observations only\n", len(r.Failed))
+		for _, f := range r.Failed {
+			fmt.Fprintf(&b, "  failed: %s %s t%02d abs=%g (%d attempts): %s\n",
+				f.Compressor, f.Field, f.Step, f.Bound, f.Attempts, f.Err)
 		}
 	}
 	return b.String()
@@ -934,6 +1082,14 @@ func StoreInfo(dir string) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "checkpoint store %s\n", dir)
 	fmt.Fprintf(&b, "  cells: %d (%d KiB of observations)\n", len(keys), bytes/1024)
+	if failKeys, err := st.Keys("fail/"); err == nil && len(failKeys) > 0 {
+		fmt.Fprintf(&b, "  failed cells awaiting retry: %d\n", len(failKeys))
+		for _, fk := range failKeys {
+			if raw, ok, _ := st.Get(fk); ok {
+				fmt.Fprintf(&b, "    %s: %s\n", strings.TrimPrefix(fk, "fail/"), raw)
+			}
+		}
+	}
 	groups := make([]string, 0, len(byCompBound))
 	for g := range byCompBound {
 		groups = append(groups, g)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // tinySpec keeps tests fast: few fields, few steps, small grid.
@@ -349,14 +350,14 @@ func TestWorkerPing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	pool := newRemotePool([]string{ln.Addr().String()})
+	pool := newRemotePool([]string{ln.Addr().String()}, poolConfig{PingInterval: -1})
 	defer pool.close()
-	client, err := pool.client(ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
+	ep, ok := pool.acquire(0)
+	if !ok {
+		t.Fatal("fresh endpoint should be available")
 	}
 	var reply string
-	if err := client.Call("WorkerService.Ping", struct{}{}, &reply); err != nil || reply != "ok" {
+	if err := pool.call(ep, "WorkerService.Ping", struct{}{}, &reply, time.Second); err != nil || reply != "ok" {
 		t.Errorf("Ping = %q, %v", reply, err)
 	}
 }

@@ -1,10 +1,14 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Remote execution: predict-bench can fan observation tasks out to worker
@@ -14,6 +18,16 @@ import (
 // operates across processes: each queue worker slot is pinned to one
 // remote endpoint, so tasks sharing a DataKey still land on the same
 // process and enjoy its warm caches.
+//
+// The pool is hardened against the failure shapes of a real deployment:
+// dials and calls carry timeouts (a dead or hung endpoint cannot block a
+// worker slot indefinitely), every endpoint sits behind a circuit
+// breaker (closed → open after consecutive failures, open → half-open
+// after a cooldown, half-open admits one probe), a background Ping
+// health probe drives recovery detection, and worker-slot pins FAIL OVER:
+// when a slot's pinned endpoint trips its breaker the slot re-pins to
+// the next healthy endpoint, so one dead endpoint degrades capacity
+// instead of permanently poisoning every slot mapped to it.
 
 // ObserveArgs is the RPC request for one observation cell.
 type ObserveArgs struct {
@@ -71,68 +85,347 @@ func ServeWorker(addr string) (net.Listener, error) {
 	return ln, nil
 }
 
-// remotePool holds one persistent RPC client per endpoint.
+// Circuit-breaker states.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// ErrAllEndpointsDown is wrapped into call errors when every endpoint's
+// breaker is open.
+var ErrAllEndpointsDown = errors.New("bench: all remote endpoints unavailable")
+
+// poolConfig tunes the hardened remote pool.
+type poolConfig struct {
+	// DialTimeout bounds connection establishment (default 3s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one RPC round trip (default 2m).
+	CallTimeout time.Duration
+	// PingInterval is the background health-probe period (default 2s;
+	// negative disables probing).
+	PingInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// endpoint's breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// Inject scripts dial/call faults (tests only).
+	Inject *faultinject.Plan
+}
+
+func (c *poolConfig) defaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Minute
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+}
+
+// EndpointStats is the per-endpoint slice of PoolStats.
+type EndpointStats struct {
+	Addr        string
+	Calls       int // RPCs attempted (excluding health probes)
+	Failures    int // RPCs or dials that failed
+	State       string
+	Transitions []string // breaker transitions, e.g. "closed→open"
+}
+
+// PoolStats summarizes the remote pool for observability.
+type PoolStats struct {
+	Endpoints []EndpointStats
+	Repins    int // worker slots moved off an unavailable endpoint
+}
+
+type endpoint struct {
+	addr   string
+	client *rpc.Client
+
+	state       string
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+
+	calls       int
+	failures    int
+	transitions []string
+}
+
+// remotePool holds one persistent RPC client per endpoint behind a
+// circuit breaker, with failover re-pinning of queue worker slots.
 type remotePool struct {
-	mu        sync.Mutex
-	endpoints []string
-	clients   map[string]*rpc.Client
+	mu   sync.Mutex
+	cfg  poolConfig
+	eps  []*endpoint
+	pins map[int]int // queue worker slot → endpoint index
+	reps int         // re-pin count
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
-func newRemotePool(endpoints []string) *remotePool {
-	return &remotePool{endpoints: endpoints, clients: make(map[string]*rpc.Client)}
+func newRemotePool(endpoints []string, cfg poolConfig) *remotePool {
+	cfg.defaults()
+	p := &remotePool{
+		cfg:  cfg,
+		pins: make(map[int]int),
+		stop: make(chan struct{}),
+	}
+	for _, addr := range endpoints {
+		p.eps = append(p.eps, &endpoint{addr: addr, state: breakerClosed})
+	}
+	if cfg.PingInterval > 0 {
+		p.wg.Add(1)
+		go p.pingLoop()
+	}
+	return p
 }
 
-// endpointFor pins queue worker slots to endpoints round-robin so the
-// queue's DataKey affinity maps onto processes.
-func (p *remotePool) endpointFor(worker int) string {
-	return p.endpoints[worker%len(p.endpoints)]
+// transitionLocked moves ep to state, recording the edge.
+func (p *remotePool) transitionLocked(ep *endpoint, state string) {
+	if ep.state == state {
+		return
+	}
+	ep.transitions = append(ep.transitions, ep.state+"→"+state)
+	ep.state = state
 }
 
-func (p *remotePool) client(endpoint string) (*rpc.Client, error) {
+// availableLocked reports whether ep may serve a call now; an open
+// breaker past its cooldown transitions to half-open and admits exactly
+// one probe call.
+func (p *remotePool) availableLocked(ep *endpoint, now time.Time) bool {
+	switch ep.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(ep.openedAt) >= p.cfg.BreakerCooldown {
+			p.transitionLocked(ep, breakerHalfOpen)
+			return true
+		}
+		return false
+	default: // half-open: one probe at a time
+		return !ep.probing
+	}
+}
+
+// acquire picks the endpoint for a queue worker slot: the slot's current
+// pin when available, else the next available endpoint scanning round-
+// robin from it (failover re-pinning). When every breaker is open the
+// pinned endpoint is returned with ok=false so the caller fails fast.
+func (p *remotePool) acquire(worker int) (*endpoint, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if c, ok := p.clients[endpoint]; ok {
+	n := len(p.eps)
+	pin, pinned := p.pins[worker]
+	if !pinned {
+		pin = worker % n
+	}
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		idx := (pin + i) % n
+		ep := p.eps[idx]
+		if !p.availableLocked(ep, now) {
+			continue
+		}
+		if ep.state == breakerHalfOpen {
+			ep.probing = true
+		}
+		if pinned && idx != pin {
+			p.reps++
+		}
+		p.pins[worker] = idx
+		return ep, true
+	}
+	return p.eps[pin], false
+}
+
+// onResult folds one call outcome into the breaker.
+func (p *remotePool) onResult(ep *endpoint, err error, probe bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !probe {
+		ep.calls++
+	}
+	ep.probing = false
+	if err == nil {
+		ep.consecFails = 0
+		p.transitionLocked(ep, breakerClosed)
+		return
+	}
+	if !probe {
+		ep.failures++
+	}
+	ep.consecFails++
+	if ep.state == breakerHalfOpen || ep.consecFails >= p.cfg.BreakerThreshold {
+		p.transitionLocked(ep, breakerOpen)
+		ep.openedAt = time.Now()
+	}
+}
+
+// clientFor returns the cached client for ep, dialing with a timeout if
+// needed.
+func (p *remotePool) clientFor(ep *endpoint) (*rpc.Client, error) {
+	p.mu.Lock()
+	if c := ep.client; c != nil {
+		p.mu.Unlock()
 		return c, nil
 	}
-	c, err := rpc.Dial("tcp", endpoint)
-	if err != nil {
-		return nil, fmt.Errorf("bench: worker %s: %w", endpoint, err)
+	p.mu.Unlock()
+	if d := p.cfg.Inject.Fire(faultinject.OpDial, -1, ep.addr); d.Err != nil {
+		return nil, fmt.Errorf("bench: worker %s: %w", ep.addr, d.Err)
 	}
-	p.clients[endpoint] = c
+	conn, err := net.DialTimeout("tcp", ep.addr, p.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("bench: worker %s: %w", ep.addr, err)
+	}
+	c := rpc.NewClient(conn)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ep.client != nil {
+		// another goroutine won the dial race
+		c.Close()
+		return ep.client, nil
+	}
+	ep.client = c
 	return c, nil
 }
 
 // invalidate drops a cached client after an RPC failure so the next
 // attempt re-dials (the worker may have restarted).
-func (p *remotePool) invalidate(endpoint string) {
+func (p *remotePool) invalidate(ep *endpoint) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if c, ok := p.clients[endpoint]; ok {
-		c.Close()
-		delete(p.clients, endpoint)
+	if ep.client != nil {
+		ep.client.Close()
+		ep.client = nil
+	}
+}
+
+// call performs one RPC against ep with the pool's call timeout; on
+// timeout the connection is torn down so the abandoned call cannot
+// poison later ones.
+func (p *remotePool) call(ep *endpoint, method string, args, reply any, timeout time.Duration) error {
+	client, err := p.clientFor(ep)
+	if err != nil {
+		return err
+	}
+	done := client.Go(method, args, reply, make(chan *rpc.Call, 1)).Done
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case c := <-done:
+		if c.Error != nil {
+			p.invalidate(ep)
+			return fmt.Errorf("bench: worker %s: %w", ep.addr, c.Error)
+		}
+		return nil
+	case <-timer.C:
+		p.invalidate(ep)
+		return fmt.Errorf("bench: worker %s: %s timed out after %v", ep.addr, method, timeout)
+	}
+}
+
+// pingLoop probes endpoints in the background so a dead endpoint trips
+// its breaker before tasks pile onto it, and a recovered endpoint closes
+// its breaker without waiting for live traffic to probe it.
+func (p *remotePool) pingLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.PingInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+		}
+		p.mu.Lock()
+		eps := append([]*endpoint(nil), p.eps...)
+		now := time.Now()
+		var probes []*endpoint
+		for _, ep := range eps {
+			// probe everything except open breakers still cooling down
+			if p.availableLocked(ep, now) {
+				if ep.state == breakerHalfOpen {
+					ep.probing = true
+				}
+				probes = append(probes, ep)
+			}
+		}
+		p.mu.Unlock()
+		for _, ep := range probes {
+			var reply string
+			err := p.call(ep, "WorkerService.Ping", struct{}{}, &reply, p.cfg.DialTimeout)
+			p.onResult(ep, err, true)
+		}
 	}
 }
 
 func (p *remotePool) close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, c := range p.clients {
-		c.Close()
+	for _, ep := range p.eps {
+		if ep.client != nil {
+			ep.client.Close()
+			ep.client = nil
+		}
 	}
-	p.clients = make(map[string]*rpc.Client)
 }
 
-// observeRemote runs one cell on the endpoint pinned to the queue worker.
+// stats snapshots the pool's breaker and traffic state.
+func (p *remotePool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolStats{Repins: p.reps}
+	for _, ep := range p.eps {
+		s.Endpoints = append(s.Endpoints, EndpointStats{
+			Addr:        ep.addr,
+			Calls:       ep.calls,
+			Failures:    ep.failures,
+			State:       ep.state,
+			Transitions: append([]string(nil), ep.transitions...),
+		})
+	}
+	return s
+}
+
+// observeRemote runs one cell on the endpoint currently pinned to the
+// queue worker slot, failing over to a healthy endpoint when the pin's
+// breaker is open.
 func (p *remotePool) observeRemote(worker int, args ObserveArgs) (*Observation, error) {
-	endpoint := p.endpointFor(worker)
-	client, err := p.client(endpoint)
-	if err != nil {
+	ep, ok := p.acquire(worker)
+	if !ok {
+		return nil, fmt.Errorf("%w (worker slot %d pinned to %s)", ErrAllEndpointsDown, worker, ep.addr)
+	}
+	probe := false
+	if d := p.cfg.Inject.Fire(faultinject.OpCall, worker, ep.addr); d.Err != nil {
+		if errors.Is(d.Err, faultinject.ErrReset) {
+			p.invalidate(ep)
+		}
+		err := fmt.Errorf("bench: worker %s: %w", ep.addr, d.Err)
+		p.onResult(ep, err, probe)
 		return nil, err
+	} else if d.Delay > 0 {
+		time.Sleep(d.Delay)
 	}
 	var reply Observation
-	if err := client.Call("WorkerService.Observe", args, &reply); err != nil {
-		p.invalidate(endpoint)
-		return nil, fmt.Errorf("bench: worker %s: %w", endpoint, err)
+	err := p.call(ep, "WorkerService.Observe", args, &reply, p.cfg.CallTimeout)
+	p.onResult(ep, err, probe)
+	if err != nil {
+		return nil, err
 	}
 	return &reply, nil
 }

@@ -1,11 +1,15 @@
 package queue
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/faultinject"
 )
 
 func TestRunsAllTasks(t *testing.T) {
@@ -14,13 +18,13 @@ func TestRunsAllTasks(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		err := q.Add(Task{
 			ID:  fmt.Sprintf("t%d", i),
-			Run: func(int) error { count.Add(1); return nil },
+			Run: func(context.Context, int) error { count.Add(1); return nil },
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	results := q.Run()
+	results := q.Run(context.Background())
 	if count.Load() != 50 {
 		t.Errorf("ran %d tasks, want 50", count.Load())
 	}
@@ -38,8 +42,8 @@ func TestDependencyOrdering(t *testing.T) {
 	q := New(Config{Workers: 4})
 	var mu sync.Mutex
 	var order []string
-	record := func(id string) func(int) error {
-		return func(int) error {
+	record := func(id string) func(context.Context, int) error {
+		return func(context.Context, int) error {
 			mu.Lock()
 			order = append(order, id)
 			mu.Unlock()
@@ -49,7 +53,7 @@ func TestDependencyOrdering(t *testing.T) {
 	q.Add(Task{ID: "a", Run: record("a")})
 	q.Add(Task{ID: "b", Deps: []string{"a"}, Run: record("b")})
 	q.Add(Task{ID: "c", Deps: []string{"a", "b"}, Run: record("c")})
-	results := q.Run()
+	results := q.Run(context.Background())
 	if len(results) != 3 {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -67,25 +71,25 @@ func TestUnknownAndDuplicateTasks(t *testing.T) {
 	if err := q.Add(Task{ID: ""}); err == nil {
 		t.Error("empty ID accepted")
 	}
-	q.Add(Task{ID: "x", Run: func(int) error { return nil }})
+	q.Add(Task{ID: "x", Run: func(context.Context, int) error { return nil }})
 	if err := q.Add(Task{ID: "x"}); err == nil {
 		t.Error("duplicate ID accepted")
 	}
 	if err := q.Add(Task{ID: "y", Deps: []string{"nope"}}); err == nil {
 		t.Error("unknown dependency accepted")
 	}
-	q.Run()
+	q.Run(context.Background())
 }
 
 func TestCheckpointSkip(t *testing.T) {
 	done := map[string]bool{"a": true, "b": true}
 	q := New(Config{Workers: 2, Completed: done})
 	var ran atomic.Int64
-	q.Add(Task{ID: "a", Run: func(int) error { ran.Add(1); return nil }})
-	q.Add(Task{ID: "b", Run: func(int) error { ran.Add(1); return nil }})
+	q.Add(Task{ID: "a", Run: func(context.Context, int) error { ran.Add(1); return nil }})
+	q.Add(Task{ID: "b", Run: func(context.Context, int) error { ran.Add(1); return nil }})
 	// c depends on checkpointed tasks and must still run
-	q.Add(Task{ID: "c", Deps: []string{"a", "b"}, Run: func(int) error { ran.Add(1); return nil }})
-	results := q.Run()
+	q.Add(Task{ID: "c", Deps: []string{"a", "b"}, Run: func(context.Context, int) error { ran.Add(1); return nil }})
+	results := q.Run(context.Background())
 	if ran.Load() != 1 {
 		t.Errorf("ran %d tasks, want 1 (two skipped)", ran.Load())
 	}
@@ -100,13 +104,13 @@ func TestCheckpointSkip(t *testing.T) {
 func TestRetriesOnFailure(t *testing.T) {
 	q := New(Config{Workers: 2, Retries: 3})
 	var attempts atomic.Int64
-	q.Add(Task{ID: "flaky", Run: func(int) error {
+	q.Add(Task{ID: "flaky", Run: func(context.Context, int) error {
 		if attempts.Add(1) < 3 {
 			return errors.New("transient")
 		}
 		return nil
 	}})
-	results := q.Run()
+	results := q.Run(context.Background())
 	r := results["flaky"]
 	if r.Err != nil {
 		t.Errorf("flaky task should eventually succeed: %v", r.Err)
@@ -118,11 +122,11 @@ func TestRetriesOnFailure(t *testing.T) {
 
 func TestPermanentFailureAbandonsDependents(t *testing.T) {
 	q := New(Config{Workers: 2, Retries: 1})
-	q.Add(Task{ID: "bad", Run: func(int) error { return errors.New("always") }})
-	q.Add(Task{ID: "child", Deps: []string{"bad"}, Run: func(int) error { return nil }})
-	q.Add(Task{ID: "grandchild", Deps: []string{"child"}, Run: func(int) error { return nil }})
-	q.Add(Task{ID: "unrelated", Run: func(int) error { return nil }})
-	results := q.Run()
+	q.Add(Task{ID: "bad", Run: func(context.Context, int) error { return errors.New("always") }})
+	q.Add(Task{ID: "child", Deps: []string{"bad"}, Run: func(context.Context, int) error { return nil }})
+	q.Add(Task{ID: "grandchild", Deps: []string{"child"}, Run: func(context.Context, int) error { return nil }})
+	q.Add(Task{ID: "unrelated", Run: func(context.Context, int) error { return nil }})
+	results := q.Run(context.Background())
 	if results["bad"].Err == nil {
 		t.Error("bad should fail")
 	}
@@ -139,11 +143,16 @@ func TestPermanentFailureAbandonsDependents(t *testing.T) {
 
 func TestFailureInjectionRecovers(t *testing.T) {
 	// with injected faults and enough retries, everything completes
-	q := New(Config{Workers: 4, Retries: 10, FailureRate: 0.3, Seed: 42})
+	q := New(Config{
+		Workers: 4, Retries: 10, Seed: 42,
+		Inject: faultinject.New(42, faultinject.Rule{
+			Op: faultinject.OpTask, Kind: faultinject.KindError, Worker: -1, Rate: 0.3,
+		}),
+	})
 	for i := 0; i < 40; i++ {
-		q.Add(Task{ID: fmt.Sprintf("t%d", i), Run: func(int) error { return nil }})
+		q.Add(Task{ID: fmt.Sprintf("t%d", i), Run: func(context.Context, int) error { return nil }})
 	}
-	results := q.Run()
+	results := q.Run(context.Background())
 	retried := 0
 	for id, r := range results {
 		if r.Err != nil {
@@ -155,6 +164,9 @@ func TestFailureInjectionRecovers(t *testing.T) {
 	}
 	if retried == 0 {
 		t.Error("failure injection never fired (suspicious at rate 0.3)")
+	}
+	if s := q.Stats(); s.Backoffs == 0 {
+		t.Error("retries should have waited out backoff delays")
 	}
 }
 
@@ -169,7 +181,7 @@ func TestDataLocalityPreference(t *testing.T) {
 		q.Add(Task{
 			ID:      fmt.Sprintf("t%d", i),
 			DataKey: key,
-			Run: func(worker int) error {
+			Run: func(_ context.Context, worker int) error {
 				mu.Lock()
 				placement[key] = append(placement[key], worker)
 				mu.Unlock()
@@ -177,7 +189,7 @@ func TestDataLocalityPreference(t *testing.T) {
 			},
 		})
 	}
-	q.Run()
+	q.Run(context.Background())
 	// each key should see far fewer distinct workers than tasks
 	for key, workers := range placement {
 		distinct := map[int]bool{}
@@ -196,20 +208,20 @@ func TestDataLocalityPreference(t *testing.T) {
 func TestDynamicAddDuringRun(t *testing.T) {
 	q := New(Config{Workers: 2})
 	var ran atomic.Int64
-	q.Add(Task{ID: "seed", Run: func(int) error {
+	q.Add(Task{ID: "seed", Run: func(context.Context, int) error {
 		ran.Add(1)
 		// an invalidation discovered mid-run adds more work
 		for i := 0; i < 5; i++ {
 			if err := q.Add(Task{
 				ID:  fmt.Sprintf("dynamic%d", i),
-				Run: func(int) error { ran.Add(1); return nil },
+				Run: func(context.Context, int) error { ran.Add(1); return nil },
 			}); err != nil {
 				return err
 			}
 		}
 		return nil
 	}})
-	results := q.Run()
+	results := q.Run(context.Background())
 	if ran.Load() != 6 {
 		t.Errorf("ran %d, want 6 (1 seed + 5 dynamic)", ran.Load())
 	}
@@ -221,11 +233,11 @@ func TestDynamicAddDuringRun(t *testing.T) {
 func TestNoRetriesWhenNegative(t *testing.T) {
 	q := New(Config{Workers: 1, Retries: -1})
 	var attempts atomic.Int64
-	q.Add(Task{ID: "once", Run: func(int) error {
+	q.Add(Task{ID: "once", Run: func(context.Context, int) error {
 		attempts.Add(1)
 		return errors.New("fail")
 	}})
-	results := q.Run()
+	results := q.Run(context.Background())
 	if attempts.Load() != 1 {
 		t.Errorf("attempts = %d, want 1", attempts.Load())
 	}
@@ -236,18 +248,18 @@ func TestNoRetriesWhenNegative(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	q := New(Config{Workers: 2, Retries: 3, Completed: map[string]bool{"skip": true}})
-	q.Add(Task{ID: "skip", Run: func(int) error { return nil }})
+	q.Add(Task{ID: "skip", Run: func(context.Context, int) error { return nil }})
 	var tries atomic.Int64
-	q.Add(Task{ID: "retry", Run: func(int) error {
+	q.Add(Task{ID: "retry", Run: func(context.Context, int) error {
 		if tries.Add(1) < 2 {
 			return errors.New("transient")
 		}
 		return nil
 	}})
 	for i := 0; i < 8; i++ {
-		q.Add(Task{ID: fmt.Sprintf("k%d", i), DataKey: "shared", Run: func(int) error { return nil }})
+		q.Add(Task{ID: fmt.Sprintf("k%d", i), DataKey: "shared", Run: func(context.Context, int) error { return nil }})
 	}
-	q.Run()
+	q.Run(context.Background())
 	s := q.Stats()
 	if s.Tasks != 10 {
 		t.Errorf("Tasks = %d, want 10", s.Tasks)
@@ -263,5 +275,251 @@ func TestStats(t *testing.T) {
 	}
 	if s.TotalAttempts < s.Tasks-s.Skipped {
 		t.Errorf("TotalAttempts = %d inconsistent", s.TotalAttempts)
+	}
+}
+
+func TestTaskTimeoutKillsHungTask(t *testing.T) {
+	q := New(Config{Workers: 2, Retries: 1, TaskTimeout: 20 * time.Millisecond})
+	var hungAttempts atomic.Int64
+	q.Add(Task{ID: "hung", Run: func(ctx context.Context, _ int) error {
+		hungAttempts.Add(1)
+		<-ctx.Done() // a well-behaved hang: blocks until the deadline kills it
+		return ctx.Err()
+	}})
+	q.Add(Task{ID: "ok", Run: func(context.Context, int) error { return nil }})
+	done := make(chan map[string]*Result, 1)
+	go func() { done <- q.Run(context.Background()) }()
+	select {
+	case results := <-done:
+		r := results["hung"]
+		if r.Err == nil || !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Errorf("hung err = %v, want deadline exceeded", r.Err)
+		}
+		if !r.TimedOut {
+			t.Error("result not marked TimedOut")
+		}
+		if r.Attempts != 2 {
+			t.Errorf("attempts = %d, want 2 (initial + 1 retry)", r.Attempts)
+		}
+		if results["ok"].Err != nil {
+			t.Errorf("ok task failed: %v", results["ok"].Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queue wedged on a hung task")
+	}
+	if s := q.Stats(); s.TimedOut != 2 {
+		t.Errorf("Stats.TimedOut = %d, want 2", s.TimedOut)
+	}
+}
+
+func TestTimeoutAbandonsNonCooperativeTask(t *testing.T) {
+	// a task that ignores ctx entirely must not wedge its worker slot
+	q := New(Config{Workers: 1, Retries: -1, TaskTimeout: 10 * time.Millisecond})
+	release := make(chan struct{})
+	q.Add(Task{ID: "stubborn", Run: func(context.Context, int) error {
+		<-release // ignores ctx
+		return nil
+	}})
+	q.Add(Task{ID: "next", Run: func(context.Context, int) error { return nil }})
+	done := make(chan map[string]*Result, 1)
+	go func() { done <- q.Run(context.Background()) }()
+	select {
+	case results := <-done:
+		if !errors.Is(results["stubborn"].Err, context.DeadlineExceeded) {
+			t.Errorf("stubborn err = %v", results["stubborn"].Err)
+		}
+		if results["next"].Err != nil {
+			t.Error("worker slot never freed for the next task")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker wedged by a ctx-ignoring task")
+	}
+	close(release) // let the leaked goroutine finish
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	q := New(Config{Workers: 2, Retries: 0})
+	started := make(chan struct{})
+	var once sync.Once
+	q.Add(Task{ID: "blocker", Run: func(ctx context.Context, _ int) error {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	for i := 0; i < 20; i++ {
+		q.Add(Task{ID: fmt.Sprintf("later%d", i), Deps: []string{"blocker"},
+			Run: func(context.Context, int) error { return nil }})
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results := q.Run(ctx)
+	if len(results) != 21 {
+		t.Fatalf("results = %d, want 21 (every task gets a terminal record)", len(results))
+	}
+	if results["blocker"].Err == nil {
+		t.Error("blocker should fail with the cancellation error")
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, ErrCancelled) || errors.Is(r.Err, ErrDependencyFailed) {
+			cancelled++
+		}
+	}
+	// 20 never-started dependents + the blocker itself, whose in-flight
+	// attempt died of the cancellation
+	if cancelled != 21 {
+		t.Errorf("cancelled/abandoned = %d, want 21", cancelled)
+	}
+	if !errors.Is(results["blocker"].Err, ErrCancelled) {
+		t.Errorf("blocker err = %v, want ErrCancelled wrap", results["blocker"].Err)
+	}
+	if s := q.Stats(); s.Cancelled == 0 {
+		t.Error("Stats.Cancelled not counted")
+	}
+}
+
+func TestBackoffDelaysRetries(t *testing.T) {
+	q := New(Config{
+		Workers: 1, Retries: 3, Seed: 5,
+		BackoffBase: 10 * time.Millisecond, BackoffMax: 40 * time.Millisecond,
+	})
+	var times []time.Time
+	q.Add(Task{ID: "flaky", Run: func(context.Context, int) error {
+		times = append(times, time.Now())
+		if len(times) < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	}})
+	if r := q.Run(context.Background())["flaky"]; r.Err != nil {
+		t.Fatalf("flaky: %v", r.Err)
+	}
+	if len(times) != 4 {
+		t.Fatalf("attempts = %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		gap := times[i].Sub(times[i-1])
+		// jittered backoff is at least base/2 (first retry) and grows
+		if gap < 5*time.Millisecond {
+			t.Errorf("retry %d came after %v, want ≥ 5ms of backoff", i, gap)
+		}
+	}
+	if s := q.Stats(); s.Backoffs != 3 {
+		t.Errorf("Backoffs = %d, want 3", s.Backoffs)
+	}
+}
+
+func TestDeterministicInjectionSequence(t *testing.T) {
+	// the same plan + seed over the same schedule yields the same
+	// failure sequence (single worker makes the schedule deterministic)
+	run := func() []string {
+		plan := faultinject.New(11, faultinject.Rule{
+			Op: faultinject.OpTask, Kind: faultinject.KindError, Worker: -1, Rate: 0.4,
+		})
+		q := New(Config{Workers: 1, Retries: 5, Seed: 11, BackoffBase: -1, Inject: plan})
+		for i := 0; i < 20; i++ {
+			q.Add(Task{ID: fmt.Sprintf("t%02d", i), Run: func(context.Context, int) error { return nil }})
+		}
+		q.Run(context.Background())
+		var seq []string
+		for _, e := range plan.Log() {
+			seq = append(seq, e.Kind+":"+e.Key)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no injections fired")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("injection sequence diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestStressDeepChainsWithFaults is the lost-wakeup regression test: many
+// workers contending over deep dependency chains with injected faults,
+// timeouts, and dynamic adds. Before the sync.Cond rewrite, a worker
+// could park after a nil pick while another worker was between releasing
+// dependents and signalling, missing the wakeup; under load that wedged
+// the queue. Run it under -race (`make check`).
+func TestStressDeepChainsWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		chains = 24
+		depth  = 12
+	)
+	plan := faultinject.New(3, faultinject.Rule{
+		Op: faultinject.OpTask, Kind: faultinject.KindError, Worker: -1, Rate: 0.15,
+	})
+	q := New(Config{
+		Workers: 16, Retries: 30, Seed: 3,
+		BackoffBase: 100 * time.Microsecond, BackoffMax: time.Millisecond,
+		TaskTimeout: time.Second,
+		Inject:      plan,
+	})
+	var ran atomic.Int64
+	for c := 0; c < chains; c++ {
+		var prev string
+		for d := 0; d < depth; d++ {
+			id := fmt.Sprintf("c%02d/d%02d", c, d)
+			var deps []string
+			if prev != "" {
+				deps = []string{prev}
+			}
+			task := Task{
+				ID: id, DataKey: fmt.Sprintf("chain%d", c), Deps: deps,
+				Run: func(context.Context, int) error { ran.Add(1); return nil },
+			}
+			if d == depth/2 {
+				// dynamic fan-out halfway down each chain
+				parent := id
+				task.Run = func(context.Context, int) error {
+					ran.Add(1)
+					for j := 0; j < 3; j++ {
+						if err := q.Add(Task{
+							ID:   fmt.Sprintf("%s/fan%d", parent, j),
+							Deps: []string{parent},
+							Run:  func(context.Context, int) error { ran.Add(1); return nil },
+						}); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				// note: fan tasks depend on the task that adds them, which
+				// has not completed yet — Add must handle that (it does:
+				// the dependency is the running task itself)
+				_ = parent
+			}
+			if err := q.Add(task); err != nil {
+				t.Fatal(err)
+			}
+			prev = id
+		}
+	}
+	done := make(chan map[string]*Result, 1)
+	go func() { done <- q.Run(context.Background()) }()
+	var results map[string]*Result
+	select {
+	case results = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("queue wedged (lost wakeup?)")
+	}
+	want := chains*depth + chains*3
+	if len(results) != want {
+		t.Fatalf("results = %d, want %d", len(results), want)
+	}
+	for id, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", id, r.Err)
+		}
+	}
+	if n := ran.Load(); n != int64(want) {
+		t.Errorf("ran %d, want %d", n, want)
 	}
 }

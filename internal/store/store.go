@@ -25,6 +25,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 const (
@@ -48,6 +50,34 @@ type Store struct {
 	// crashes only, much faster). Defaults to false, as predict-bench
 	// re-runs cheaply relative to fsync-per-record at scale.
 	Sync bool
+	// Inject scripts crashes at the store's durability boundaries
+	// (tests only). A crash-kind rule at OpPutBefore aborts before the
+	// WAL append (the record is lost, as a real crash there would lose
+	// it); OpPutAfter aborts after the append (the record is durable
+	// but unacknowledged); OpCompactBefore aborts with the snapshot
+	// written but not renamed; OpCompactAfter aborts after the rename
+	// but before the WAL truncate. All leave the store ErrClosed, as
+	// the "process" died.
+	Inject *faultinject.Plan
+}
+
+// ErrCrashed marks operations aborted by an injected crash.
+var ErrCrashed = errors.New("store: injected crash")
+
+// fire evaluates the injection plan at a crash point; on a hit it closes
+// the store (simulating process death) and returns the error. Call with
+// s.mu held.
+func (s *Store) fire(op faultinject.Op, key string) error {
+	if s.Inject == nil {
+		return nil
+	}
+	d := s.Inject.Fire(op, -1, key)
+	if d.Err == nil {
+		return nil
+	}
+	s.closed = true
+	s.wal.Close()
+	return fmt.Errorf("%w: %w", ErrCrashed, d.Err)
 }
 
 // Open loads (or creates) a store rooted at dir, replaying the snapshot
@@ -59,6 +89,10 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, data: make(map[string][]byte)}
+
+	// a stale temp snapshot is the signature of a crash before the
+	// compact rename; the real snapshot + WAL are still authoritative
+	os.Remove(s.snapshotPath() + ".tmp")
 
 	// snapshot first, then the log on top
 	if snap, err := os.ReadFile(s.snapshotPath()); err == nil {
@@ -172,6 +206,9 @@ func (s *Store) Put(key string, value []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if err := s.fire(faultinject.OpPutBefore, key); err != nil {
+		return err
+	}
 	rec := encodeRecord(opPut, key, value)
 	if _, err := s.wal.Write(rec); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -180,6 +217,9 @@ func (s *Store) Put(key string, value []byte) error {
 		if err := s.wal.Sync(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
+	}
+	if err := s.fire(faultinject.OpPutAfter, key); err != nil {
+		return err
 	}
 	s.data[key] = append([]byte(nil), value...)
 	return nil
@@ -259,12 +299,36 @@ func (s *Store) Compact() error {
 	for _, k := range keys {
 		snap = append(snap, encodeRecord(opPut, k, s.data[k])...)
 	}
+	// write + fsync the temp snapshot before the rename, and fsync the
+	// directory after: without both, a power loss just after Compact can
+	// surface an empty or torn snapshot even though rename is atomic.
 	tmp := s.snapshotPath() + ".tmp"
-	if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(snap); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.fire(faultinject.OpCompactBefore, s.snapshotPath()); err != nil {
+		return err
 	}
 	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.fire(faultinject.OpCompactAfter, s.snapshotPath()); err != nil {
+		return err
 	}
 	if err := s.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -273,6 +337,17 @@ func (s *Store) Compact() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Close flushes and closes the log; the store is unusable afterwards.

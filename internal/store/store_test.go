@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -8,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/faultinject"
 )
 
 func TestPutGetDelete(t *testing.T) {
@@ -245,6 +248,182 @@ func TestRoundTripQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTornTailEveryOffset truncates the WAL at every byte offset inside
+// the final record and asserts recovery never half-observes it: the
+// earlier records survive intact and the torn record is simply absent.
+func TestTornTailEveryOffset(t *testing.T) {
+	base := t.TempDir()
+	// build a reference log: two whole records plus a final one to tear
+	ref := filepath.Join(base, "ref")
+	s, err := Open(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("keep/a", []byte("alpha"))
+	s.Put("keep/b", []byte("beta"))
+	whole, err := os.ReadFile(filepath.Join(ref, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("torn/c", []byte("gamma-gamma-gamma"))
+	s.Close()
+	full, err := os.ReadFile(filepath.Join(ref, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(whole) {
+		t.Fatal("final record added no bytes?")
+	}
+
+	for cut := len(whole); cut < len(full); cut++ {
+		dir := filepath.Join(base, fmt.Sprintf("cut%d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at %d: recovery failed: %v", cut, err)
+		}
+		if v, ok, _ := s2.Get("keep/a"); !ok || string(v) != "alpha" {
+			t.Errorf("cut at %d: keep/a = %q, %v", cut, v, ok)
+		}
+		if v, ok, _ := s2.Get("keep/b"); !ok || string(v) != "beta" {
+			t.Errorf("cut at %d: keep/b = %q, %v", cut, v, ok)
+		}
+		if v, ok, _ := s2.Get("torn/c"); ok {
+			t.Errorf("cut at %d: torn record half-observed as %q", cut, v)
+		}
+		// the truncated store must accept writes again
+		if err := s2.Put("after", []byte("x")); err != nil {
+			t.Errorf("cut at %d: post-recovery Put: %v", cut, err)
+		}
+		s2.Close()
+	}
+}
+
+// TestCrashDuringCompact uses the fault-injection hooks to kill the
+// "process" at both compact crash points and asserts no record is lost
+// or half-observed either way.
+func TestCrashDuringCompact(t *testing.T) {
+	for _, point := range []faultinject.Op{faultinject.OpCompactBefore, faultinject.OpCompactAfter} {
+		t.Run(string(point), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				s.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%d", i)))
+			}
+			s.Delete("k03")
+			s.Inject = faultinject.New(1, faultinject.Rule{
+				Op: point, Kind: faultinject.KindCrash, Worker: -1,
+			})
+			err = s.Compact()
+			if !errors.Is(err, ErrCrashed) || !errors.Is(err, faultinject.ErrCrash) {
+				t.Fatalf("Compact = %v, want injected crash", err)
+			}
+			// the store is "dead"; every API call must refuse
+			if err := s.Put("x", nil); !errors.Is(err, ErrClosed) {
+				t.Errorf("Put after crash = %v", err)
+			}
+
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("recovery after crash-%s failed: %v", point, err)
+			}
+			defer s2.Close()
+			if s2.Len() != 19 {
+				t.Errorf("Len = %d, want 19", s2.Len())
+			}
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("k%02d", i)
+				v, ok, _ := s2.Get(key)
+				if i == 3 {
+					if ok {
+						t.Errorf("deleted %s resurrected", key)
+					}
+					continue
+				}
+				if !ok || string(v) != fmt.Sprintf("v%d", i) {
+					t.Errorf("%s = %q, %v", key, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashAroundPut exercises the put-before/put-after crash points:
+// crash-before loses the record (never written), crash-after keeps it
+// (written but unacknowledged) — both recover to a consistent store.
+func TestCrashAroundPut(t *testing.T) {
+	for _, tc := range []struct {
+		point     faultinject.Op
+		wantAfter bool
+	}{
+		{faultinject.OpPutBefore, false},
+		{faultinject.OpPutAfter, true},
+	} {
+		t.Run(string(tc.point), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Put("stable", []byte("yes"))
+			s.Inject = faultinject.New(1, faultinject.Rule{
+				Op: tc.point, Kind: faultinject.KindCrash, Worker: -1,
+			})
+			if err := s.Put("doomed", []byte("maybe")); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("Put = %v, want crash", err)
+			}
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer s2.Close()
+			if _, ok, _ := s2.Get("stable"); !ok {
+				t.Error("stable record lost")
+			}
+			if _, ok, _ := s2.Get("doomed"); ok != tc.wantAfter {
+				t.Errorf("doomed present = %v, want %v", ok, tc.wantAfter)
+			}
+		})
+	}
+}
+
+// TestCompactLeavesNoStaleTemp asserts a crash between snapshot write
+// and rename leaves a temp file that the next Open cleans up.
+func TestCompactLeavesNoStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("a", []byte("1"))
+	s.Inject = faultinject.New(1, faultinject.Rule{
+		Op: faultinject.OpCompactBefore, Kind: faultinject.KindCrash, Worker: -1,
+	})
+	if err := s.Compact(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Compact = %v", err)
+	}
+	tmp := filepath.Join(dir, "snapshot.db.tmp")
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("crash before rename should leave the temp snapshot: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Error("Open did not clean up the stale temp snapshot")
+	}
+	if _, ok, _ := s2.Get("a"); !ok {
+		t.Error("record lost")
 	}
 }
 
