@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check stress bench clean
+.PHONY: build test check fmt-check serve-check stress bench clean
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,26 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full verification gate: vet, build, and the complete
-# test suite under the race detector. -short skips the long queue
-# stress test; run `make stress` to include it.
-check:
+# check is the full verification gate: formatting, vet, build, and the
+# complete test suite under the race detector. -short skips the long
+# queue stress test and the model-fitting serve tests; run `make stress`
+# and `make serve-check` to include them.
+check: fmt-check
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -short ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# serve-check gates the serving subsystem: vet + the full internal/serve
+# suite (end-to-end fit/predict/invalidate, singleflight, backpressure,
+# loadgen soak) and the daemon build, all under the race detector.
+serve-check:
+	$(GO) vet ./internal/serve/ ./cmd/predictd/
+	$(GO) build -o /dev/null ./cmd/predictd/
+	$(GO) test -race ./internal/serve/
 
 stress:
 	$(GO) test -race -run TestStress ./internal/queue/ -v

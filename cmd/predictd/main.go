@@ -1,0 +1,139 @@
+// Command predictd is the online prediction-serving daemon: it exposes
+// the internal/serve subsystem — model registry, opthash-keyed result
+// cache with singleflight dedup, and bounded worker pools — over an HTTP
+// JSON API.
+//
+// Usage:
+//
+//	predictd -addr :8347 -store ./predictd-models
+//	predictd -workers 8 -queue 128 -cache 4096 -deadline 10s
+//	predictd -opts "pressio:abs=1e-4,khan:sample_fraction=0.05"
+//
+// Endpoints:
+//
+//	POST /v1/predict     features or data coordinates -> predicted metric
+//	POST /v1/fit         async training job -> {"job_id": ...}
+//	GET  /v1/jobs/{id}   job status
+//	GET  /v1/models      registry listing
+//	POST /v1/invalidate  predictors:invalidate-driven eviction
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /statz          counters and latency quantiles
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops, in-flight
+// predictions and training jobs finish, and the store is closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/pressio"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8347", "listen address")
+		storeDir   = flag.String("store", "predictd-models", "model registry directory")
+		workers    = flag.Int("workers", 4, "predict worker pool size")
+		queue      = flag.Int("queue", 64, "predict queue depth before 429s")
+		cacheSize  = flag.Int("cache", 1024, "result cache capacity")
+		deadline   = flag.Duration("deadline", 30*time.Second, "per-request compute deadline")
+		fitWorkers = flag.Int("fit-workers", 1, "training worker pool size")
+		fitQueue   = flag.Int("fit-queue", 8, "training queue depth")
+		optsFlag   = flag.String("opts", "", "default options merged under every request, key=value[,key=value...]")
+	)
+	flag.Parse()
+	if err := run(*addr, *storeDir, *optsFlag, serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		Deadline:      *deadline,
+		FitWorkers:    *fitWorkers,
+		FitQueueDepth: *fitQueue,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "predictd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir, optsFlag string, cfg serve.Config) error {
+	if optsFlag != "" {
+		opts, err := defaultOptions(optsFlag)
+		if err != nil {
+			return err
+		}
+		cfg.DefaultOptions = opts
+	}
+
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	srv, err := serve.New(st, cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("predictd: serving on %s (store %s, %d models)", addr, storeDir, srv.Registry().Len())
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("predictd: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("predictd: shutdown: %v", err)
+	}
+	srv.Drain()
+	log.Print("predictd: drained")
+	return nil
+}
+
+// defaultOptions parses the -opts flag into typed pressio options,
+// guessing value types the way the config file loader does: bool, int,
+// float, then string.
+func defaultOptions(s string) (pressio.Options, error) {
+	kv, err := cliutil.ParseAssignments(s)
+	if err != nil {
+		return nil, fmt.Errorf("-opts: %w", err)
+	}
+	opts := pressio.Options{}
+	for k, v := range kv {
+		switch {
+		case v == "true" || v == "false":
+			opts.Set(k, v == "true")
+		default:
+			if i, err := strconv.ParseInt(v, 10, 64); err == nil {
+				opts.Set(k, i)
+			} else if f, err := strconv.ParseFloat(v, 64); err == nil {
+				opts.Set(k, f)
+			} else {
+				opts.Set(k, v)
+			}
+		}
+	}
+	return opts, nil
+}

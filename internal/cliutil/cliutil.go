@@ -36,6 +36,26 @@ func ParseBounds(s string) ([]float64, error) {
 	return out, nil
 }
 
+// ParseAssignments parses a comma-separated "key=value" list (e.g.
+// "pressio:abs=1e-4,jin:quant_bins=32") into an ordered key→value map.
+// Keys must be non-empty; values may be empty strings.
+func ParseAssignments(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(part, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return nil, fmt.Errorf("bad assignment %q (want key=value)", part)
+		}
+		out[key] = strings.TrimSpace(value)
+	}
+	return out, nil
+}
+
 // ParseList splits a comma-separated list, trimming whitespace and
 // dropping empty entries.
 func ParseList(s string) []string {

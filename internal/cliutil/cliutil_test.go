@@ -54,3 +54,25 @@ func TestParseList(t *testing.T) {
 		t.Errorf("empty entries should be dropped: %v", got)
 	}
 }
+
+func TestParseAssignments(t *testing.T) {
+	m, err := ParseAssignments("pressio:abs=1e-4, jin:quant_bins=32 ,flag=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["pressio:abs"] != "1e-4" || m["jin:quant_bins"] != "32" {
+		t.Errorf("ParseAssignments = %v", m)
+	}
+	if v, ok := m["flag"]; !ok || v != "" {
+		t.Errorf("empty value should be kept: %v", m)
+	}
+	if m, err := ParseAssignments(""); err != nil || len(m) != 0 {
+		t.Errorf("empty input: %v, %v", m, err)
+	}
+	if _, err := ParseAssignments("novalue"); err == nil {
+		t.Error("missing '=' should error")
+	}
+	if _, err := ParseAssignments("=v"); err == nil {
+		t.Error("empty key should error")
+	}
+}

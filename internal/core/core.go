@@ -224,6 +224,46 @@ func IsStale(metricInvalidate, invalidated []string) bool {
 	return false
 }
 
+// SchemeStale reports whether invalidating the given option names or
+// class keys makes any of a scheme's metrics stale — and therefore makes
+// anything derived from those metrics (cached feature vectors, trained
+// predictor state, served predictions) untrustworthy. The serving layer
+// uses it to decide which registry entries and cached results a
+// predictors:invalidate declaration must evict. InvalidateTraining is
+// handled here too: training is an input of every trained artifact, so a
+// training invalidation always reports stale for schemes that train.
+func SchemeStale(scheme Scheme, keys []string) (bool, error) {
+	for _, k := range keys {
+		if k == pressio.InvalidateTraining {
+			if p, err := schemeTrains(scheme); err == nil && p {
+				return true, nil
+			}
+		}
+	}
+	for _, name := range scheme.Metrics() {
+		m, err := pressio.GetMetric(name)
+		if err != nil {
+			return false, err
+		}
+		inv, _ := m.Configuration().GetStrings(pressio.CfgInvalidate)
+		if IsStale(inv, keys) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// schemeTrains reports whether the scheme's predictor requires training;
+// probing uses an empty compressor name, which every NewPredictor accepts
+// for capability inspection.
+func schemeTrains(scheme Scheme) (bool, error) {
+	p, err := scheme.NewPredictor("")
+	if err != nil {
+		return false, err
+	}
+	return p.Trains(), nil
+}
+
 func isClassKey(k string) bool {
 	switch k {
 	case pressio.InvalidateErrorAgnostic, pressio.InvalidateErrorDependent,

@@ -382,3 +382,42 @@ func TestGanguliPredictorIsIntervalPredictor(t *testing.T) {
 		t.Fatal("ModelPredictor must satisfy IntervalPredictor")
 	}
 }
+
+// trainingTestScheme is realTestScheme with a trained predictor, for
+// SchemeStale's predictors:training handling.
+type trainingTestScheme struct{ realTestScheme }
+
+func (*trainingTestScheme) NewPredictor(string) (Predictor, error) {
+	return &ModelPredictor{ModelName: "linreg", Model: &mlkit.LinearRegression{}}, nil
+}
+
+func TestSchemeStale(t *testing.T) {
+	scheme := &realTestScheme{}
+	for _, tc := range []struct {
+		keys []string
+		want bool
+	}{
+		{[]string{pressio.OptAbs}, true},                   // specific option of the bound metric
+		{[]string{pressio.InvalidateErrorDependent}, true}, // class key covers pressio:abs
+		{[]string{pressio.InvalidateErrorAgnostic}, true},  // the counting metric
+		{[]string{"sz3:quant_bins"}, false},                // unrelated option
+		{[]string{pressio.InvalidateTraining}, false},      // identity predictor: nothing trained
+		{nil, false},
+	} {
+		got, err := SchemeStale(scheme, tc.keys)
+		if err != nil {
+			t.Fatalf("SchemeStale(%v): %v", tc.keys, err)
+		}
+		if got != tc.want {
+			t.Errorf("SchemeStale(%v) = %v, want %v", tc.keys, got, tc.want)
+		}
+	}
+	// a scheme whose predictor trains IS stale under a training invalidation
+	got, err := SchemeStale(&trainingTestScheme{}, []string{pressio.InvalidateTraining})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("training scheme should be stale under predictors:training")
+	}
+}

@@ -1,0 +1,87 @@
+package opthash
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pressio"
+)
+
+// goldenOptions builds the fixture set in a given insertion order. The
+// perm slice reorders the Set calls so tests can prove the hash is
+// independent of Go map insertion history.
+func goldenOptions(perm []int) pressio.Options {
+	o := pressio.Options{}
+	sets := []func(){
+		func() { o.Set("pressio:abs", 1e-4) },
+		func() { o.Set("sz3:quant_bins", int64(65536)) },
+		func() { o.Set("compressor", "sz3") },
+		func() { o.Set("lossless", true) },
+		func() { o.Set("fields", []string{"P", "CLOUD", "QVAPOR"}) },
+		func() { o.Set("seed-bytes", []byte{0x00, 0x01, 0xfe, 0xff}) },
+		func() { o.Set("handle", pressio.Opaque{Value: "excluded"}) },
+	}
+	for _, i := range perm {
+		sets[i]()
+	}
+	return o
+}
+
+// golden hex digests, computed once from the fixtures above. They pin the
+// wire format of the hash: if any of these change, every persisted model
+// registry key and checkpoint store entry in the field is orphaned — treat
+// a diff here as a breaking change, not a test to update casually.
+const (
+	goldenFixtureHash = "40ce04efe35f8e85f5698dcf61c83c26d4fbc9e66265826712850dbc16421452"
+	goldenEmptyHash   = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	goldenCombined    = "83dd9d3b8e1863ac52bf86aa9853d889f03458e8cf1f41831db0980d83023598"
+	goldenBoundHash   = "98384b9cc0aa32e5554f1c13d8ebf6ea324fef24867432817d589a29525dcb2f"
+)
+
+func TestGoldenHashFixtures(t *testing.T) {
+	order := []int{0, 1, 2, 3, 4, 5, 6}
+	if got := HashString(goldenOptions(order)); got != goldenFixtureHash {
+		t.Errorf("fixture hash drifted:\n got %s\nwant %s", got, goldenFixtureHash)
+	}
+	if got := HashString(pressio.Options{}); got != goldenEmptyHash {
+		t.Errorf("empty hash = %s, want SHA-256 of nothing %s", got, goldenEmptyHash)
+	}
+
+	bound := pressio.Options{}
+	bound.Set(pressio.OptAbs, 1e-6)
+	if got := HashString(bound); got != goldenBoundHash {
+		t.Errorf("bound hash drifted:\n got %s\nwant %s", got, goldenBoundHash)
+	}
+	if got := Combine(goldenOptions(order), bound); got != goldenCombined {
+		t.Errorf("combined hash drifted:\n got %s\nwant %s", got, goldenCombined)
+	}
+}
+
+// TestGoldenHashInsertionOrderIndependent rebuilds the fixture options
+// under many random insertion orders: whatever history the underlying Go
+// map saw, the digest must match the golden value, because store keys
+// written by one process layout must resolve under another.
+func TestGoldenHashInsertionOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(7)
+		if got := HashString(goldenOptions(perm)); got != goldenFixtureHash {
+			t.Fatalf("insertion order %v changed the hash to %s", perm, got)
+		}
+	}
+}
+
+// TestGoldenHashMutationRoundTrip proves set-then-restore lands back on
+// the golden digest, so invalidation bookkeeping can rely on hash
+// equality to detect "returned to a known configuration".
+func TestGoldenHashMutationRoundTrip(t *testing.T) {
+	o := goldenOptions([]int{0, 1, 2, 3, 4, 5, 6})
+	o.Set("pressio:abs", 1e-2) // drift away
+	if HashString(o) == goldenFixtureHash {
+		t.Fatal("changing a value must change the hash")
+	}
+	o.Set("pressio:abs", 1e-4) // and back
+	if got := HashString(o); got != goldenFixtureHash {
+		t.Errorf("round-trip hash = %s, want golden %s", got, goldenFixtureHash)
+	}
+}

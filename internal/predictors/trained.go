@@ -1,9 +1,114 @@
 package predictors
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/mlkit"
 )
+
+// stateMagic frames serialized predictor state ("predictors:state") so a
+// registry can persist it to disk and later validate what it is restoring
+// into, instead of feeding bytes from one model family into another.
+var stateMagic = [4]byte{'L', 'P', 'P', 'S'}
+
+const stateVersion = 1
+
+// ErrCorruptState marks predictor-state bytes whose envelope is
+// malformed: wrong magic, truncated header, or a length field pointing
+// past the end of the buffer.
+var ErrCorruptState = errors.New("predictors: corrupt state envelope")
+
+// UnknownPredictorError is returned when restoring serialized state whose
+// recorded predictor name does not match what the scheme builds today —
+// the unknown/renamed-predictor case. Callers get the typed mismatch
+// (errors.As) instead of a panic or a silently zero-valued model.
+type UnknownPredictorError struct {
+	// Stored is the predictor name recorded in the envelope.
+	Stored string
+	// Want is the predictor name the scheme currently builds ("" when
+	// the scheme itself was unknown).
+	Want string
+	// Scheme is the scheme the state was restored for.
+	Scheme string
+}
+
+func (e *UnknownPredictorError) Error() string {
+	if e.Want == "" {
+		return fmt.Sprintf("predictors: state for unknown predictor %q (scheme %q)", e.Stored, e.Scheme)
+	}
+	return fmt.Sprintf("predictors: state recorded for predictor %q but scheme %q builds %q", e.Stored, e.Scheme, e.Want)
+}
+
+// MarshalState wraps a predictor's Save() bytes in a self-describing
+// envelope: magic, version, predictor name, state length. The envelope is
+// what registries should persist.
+func MarshalState(p core.Predictor) ([]byte, error) {
+	state, err := p.Save()
+	if err != nil {
+		return nil, err
+	}
+	name := p.Name()
+	out := make([]byte, 0, 4+1+4+len(name)+4+len(state))
+	out = append(out, stateMagic[:]...)
+	out = append(out, stateVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(name)))
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(state)))
+	out = append(out, state...)
+	return out, nil
+}
+
+// UnmarshalState splits an envelope into the recorded predictor name and
+// raw state bytes, returning ErrCorruptState on framing damage.
+func UnmarshalState(b []byte) (name string, state []byte, err error) {
+	if len(b) < 9 || [4]byte(b[:4]) != stateMagic {
+		return "", nil, ErrCorruptState
+	}
+	if b[4] != stateVersion {
+		return "", nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptState, b[4])
+	}
+	nameLen := int(binary.LittleEndian.Uint32(b[5:]))
+	if nameLen < 0 || 9+nameLen+4 > len(b) {
+		return "", nil, ErrCorruptState
+	}
+	name = string(b[9 : 9+nameLen])
+	stateLen := int(binary.LittleEndian.Uint32(b[9+nameLen:]))
+	off := 9 + nameLen + 4
+	if stateLen < 0 || off+stateLen > len(b) {
+		return "", nil, ErrCorruptState
+	}
+	return name, b[off : off+stateLen], nil
+}
+
+// RestoreState rebuilds the trained predictor a scheme uses for a
+// compressor from envelope bytes. The envelope's recorded predictor name
+// must match what the scheme builds; a mismatch — a renamed model family,
+// or state produced by a different scheme — yields *UnknownPredictorError
+// rather than loading bytes into the wrong model.
+func RestoreState(schemeName, compressor string, b []byte) (core.Predictor, error) {
+	stored, state, err := UnmarshalState(b)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.GetScheme(schemeName)
+	if err != nil {
+		return nil, &UnknownPredictorError{Stored: stored, Scheme: schemeName}
+	}
+	p, err := scheme.NewPredictor(compressor)
+	if err != nil {
+		return nil, err
+	}
+	if p.Name() != stored {
+		return nil, &UnknownPredictorError{Stored: stored, Want: p.Name(), Scheme: schemeName}
+	}
+	if err := p.Load(state); err != nil {
+		return nil, fmt.Errorf("predictors: loading %s state: %w", stored, err)
+	}
+	return p, nil
+}
 
 func init() {
 	core.RegisterScheme("krasowska2021", func() core.Scheme { return &krasowskaScheme{} })

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheValue is what the result cache stores: the response plus the
+// scheme it was computed for, so invalidation-driven eviction can clear
+// exactly the entries a stale scheme produced.
+type cacheValue struct {
+	resp   PredictResponse
+	scheme string
+}
+
+// lruCache is a fixed-capacity LRU map from opthash-derived request keys
+// to served predictions. Safe for concurrent use.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent; values are *lruItem
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	val cacheValue
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (cacheValue, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return cacheValue{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+func (c *lruCache) add(key string, val cacheValue) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// evictIf removes every entry the predicate matches and returns how many
+// were dropped — the invalidation hook.
+func (c *lruCache) evictIf(pred func(cacheValue) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		item := el.Value.(*lruItem)
+		if pred(item.val) {
+			c.ll.Remove(el)
+			delete(c.items, item.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// flightGroup collapses concurrent duplicate computations: the first
+// caller for a key runs fn, later callers for the same in-flight key
+// block and share the result — singleflight over the request hash, so a
+// thundering herd of identical predictions computes once.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	waiters int // guarded by flightGroup.mu
+	val     PredictResponse
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// do runs fn once per concurrent key; shared reports whether this caller
+// piggybacked on another's computation.
+func (g *flightGroup) do(key string, fn func() (PredictResponse, error)) (resp PredictResponse, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}
+
+// waiting reports how many callers are blocked on the key's in-flight
+// computation — lets tests release a gated compute only after every
+// duplicate has enrolled.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

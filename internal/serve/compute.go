@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hurricane"
+	"repro/internal/opthash"
+	"repro/internal/predictors"
+	"repro/internal/pressio"
+)
+
+// maxElements bounds the data buffers a request may ask the server to
+// synthesize and scan (backpressure against accidental giant dims).
+const maxElements = 1 << 22
+
+// requestKey derives the opthash-based cache/singleflight key of a
+// predict request: the scheme/compressor/options tuple plus either the
+// feature vector or the data coordinates, suffixed with the model key so
+// a re-fit can never serve results cached from the previous model.
+func requestKey(req *PredictRequest, opts pressio.Options, modelKey string) string {
+	ro := pressio.Options{}
+	ro.Set("req:scheme", req.Scheme)
+	ro.Set("req:compressor", req.Compressor)
+	if req.Features != nil {
+		raw := make([]byte, 0, 8*len(req.Features))
+		for _, f := range req.Features {
+			raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(f))
+		}
+		ro.Set("req:features", raw)
+	}
+	if req.Data != nil {
+		ro.Set("req:field", req.Data.Field)
+		ro.Set("req:step", int64(req.Data.Step))
+		ro.Set("req:dims", dimsKey(req.Data.Dims))
+	}
+	if req.Alpha > 0 {
+		ro.Set("req:alpha", req.Alpha)
+	}
+	return opthash.Combine(ro, opts) + "/" + modelKey
+}
+
+// checkDims validates request dims and applies the element budget.
+func checkDims(dims []int) error {
+	if len(dims) == 0 {
+		return fmt.Errorf("dims required")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("dims must be positive, got %v", dims)
+		}
+		if n > maxElements/d {
+			return fmt.Errorf("dims %v exceed the %d-element budget", dims, maxElements)
+		}
+		n *= d
+	}
+	return nil
+}
+
+// computeFeatures runs the scheme's metric plugins over one data buffer
+// and extracts the feature vector — the server-side analogue of the
+// Figure-4 evaluate step, with ctx checked between metrics so a deadline
+// can cut a multi-metric evaluation short.
+func computeFeatures(ctx context.Context, scheme core.Scheme, compressor string, opts pressio.Options, data *pressio.Data) ([]float64, error) {
+	merged := opts.Clone()
+	merged.Set(predictors.OptTaoCompressor, compressor)
+	merged.Set(predictors.OptKhanCompressor, compressor)
+	results := pressio.Options{}
+	for _, name := range scheme.Metrics() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := pressio.GetMetric(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetOptions(merged); err != nil {
+			return nil, fmt.Errorf("metric %s: %w", name, err)
+		}
+		m.BeginCompress(data)
+		results.Merge(m.Results())
+	}
+	return core.ExtractFeatures(results, scheme.Features())
+}
+
+// resolveFeatures turns a predict request into the scheme's feature
+// vector, either by validating the client-supplied one or by
+// synthesizing the referenced buffer and evaluating the metrics.
+func resolveFeatures(ctx context.Context, scheme core.Scheme, req *PredictRequest, opts pressio.Options) ([]float64, error) {
+	want := scheme.Features()
+	if req.Features != nil {
+		if len(req.Features) != len(want) {
+			return nil, fmt.Errorf("scheme %s wants %d features %v, got %d", scheme.Name(), len(want), want, len(req.Features))
+		}
+		return req.Features, nil
+	}
+	dims := req.Data.Dims
+	if len(dims) == 0 {
+		dims = defaultDataDims
+	}
+	if err := checkDims(dims); err != nil {
+		return nil, err
+	}
+	data, err := hurricane.Field(req.Data.Field, req.Data.Step, dims)
+	if err != nil {
+		return nil, err
+	}
+	return computeFeatures(ctx, scheme, req.Compressor, opts, data)
+}
+
+// defaultDataDims keeps data-backed predict requests cheap when the
+// client does not pick a grid.
+var defaultDataDims = []int{16, 16, 16}
+
+// predict is the uncached hot-path computation: resolve the feature
+// vector, restore (or build) the predictor, and run it.
+func (s *Server) predict(ctx context.Context, req *PredictRequest, opts pressio.Options, scheme core.Scheme, entry *ModelEntry) (PredictResponse, error) {
+	resp := PredictResponse{
+		Scheme:     req.Scheme,
+		Compressor: req.Compressor,
+		Target:     scheme.Target(),
+	}
+	features, err := resolveFeatures(ctx, scheme, req, opts)
+	if err != nil {
+		return resp, err
+	}
+	var p core.Predictor
+	if entry != nil {
+		resp.Model = entry.Key
+		p, err = s.predictorFor(entry)
+	} else {
+		p, err = scheme.NewPredictor(req.Compressor)
+	}
+	if err != nil {
+		return resp, err
+	}
+	if req.Alpha > 0 {
+		if ip, ok := p.(core.IntervalPredictor); ok {
+			pred, lo, hi, err := ip.PredictInterval(features, req.Alpha)
+			if err != nil {
+				return resp, err
+			}
+			resp.Prediction = pred
+			resp.Interval = []float64{lo, hi}
+			return resp, nil
+		}
+	}
+	resp.Prediction, err = p.Predict(features)
+	return resp, err
+}
+
+// predictorFor restores an entry's trained predictor, memoized per model
+// key so the gob decode happens once per model, not per request. Restored
+// predictors are only read concurrently (Predict), which the mlkit models
+// support.
+func (s *Server) predictorFor(entry *ModelEntry) (core.Predictor, error) {
+	s.predMu.Lock()
+	p, ok := s.predCache[entry.Key]
+	s.predMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := s.registry.Restore(entry)
+	if err != nil {
+		return nil, err
+	}
+	s.predMu.Lock()
+	s.predCache[entry.Key] = p
+	s.predMu.Unlock()
+	return p, nil
+}
+
+// runFit executes one training job: observe every (field, step, bound)
+// cell — features via the scheme's metrics, target via a real compressor
+// run — fit the predictor, and publish the model to the registry.
+func (s *Server) runFit(ctx context.Context, job *FitJob, req *FitRequest, opts pressio.Options, scheme core.Scheme) error {
+	tr := req.Training
+	dims := tr.Dims
+	if len(dims) == 0 {
+		dims = defaultDataDims
+	}
+	var x [][]float64
+	var y []float64
+	for _, field := range tr.Fields {
+		for step := 0; step < tr.Steps; step++ {
+			for _, bound := range tr.Bounds {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				data, err := hurricane.Field(field, step, dims)
+				if err != nil {
+					return err
+				}
+				cellOpts := opts.Clone()
+				cellOpts.Set(pressio.OptAbs, bound)
+				features, err := computeFeatures(ctx, scheme, req.Compressor, cellOpts, data)
+				if err != nil {
+					return err
+				}
+				cr, _, _, err := core.ObserveTarget(req.Compressor, data, cellOpts)
+				if err != nil {
+					return err
+				}
+				x = append(x, features)
+				y = append(y, cr)
+			}
+		}
+	}
+	p, err := scheme.NewPredictor(req.Compressor)
+	if err != nil {
+		return err
+	}
+	if err := p.Fit(x, y); err != nil {
+		return err
+	}
+	state, err := predictors.MarshalState(p)
+	if err != nil {
+		return err
+	}
+	entry := &ModelEntry{
+		Key:           ModelKey(req.Scheme, req.Compressor, opts, tr),
+		Scheme:        req.Scheme,
+		Compressor:    req.Compressor,
+		PredictorName: p.Name(),
+		Target:        scheme.Target(),
+		Features:      scheme.Features(),
+		Samples:       len(x),
+		State:         state,
+	}
+	if err := s.registry.Put(entry); err != nil {
+		return err
+	}
+	// a re-fit under the same key supersedes the old decoded predictor
+	s.predMu.Lock()
+	delete(s.predCache, entry.Key)
+	s.predMu.Unlock()
+	job.mu.Lock()
+	job.samples = len(x)
+	job.modelKey = entry.Key
+	job.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyWindow bounds the per-endpoint latency sample ring /statz
+// quantiles are computed over.
+const latencyWindow = 1024
+
+// counters aggregates the serving metrics surfaced on /statz: per-
+// endpoint request/error counts and latency samples, per-scheme request
+// counts, and the cache/dedup/backpressure counters. Safe for concurrent
+// use; hot-path cost is one mutex and a few map increments.
+type counters struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointCounter
+	schemes   map[string]uint64
+
+	cacheHits      uint64
+	cacheMisses    uint64
+	dedupCollapses uint64
+	rejected       uint64
+	evictedModels  uint64
+	evictedCached  uint64
+}
+
+type endpointCounter struct {
+	requests  uint64
+	errors    uint64
+	latencies []float64 // ring of the last latencyWindow request ms
+	next      int
+}
+
+func newCounters() *counters {
+	return &counters{
+		start:     time.Now(),
+		endpoints: map[string]*endpointCounter{},
+		schemes:   map[string]uint64{},
+	}
+}
+
+// observe records one finished request on an endpoint.
+func (c *counters) observe(endpoint string, status int, ms float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep := c.endpoints[endpoint]
+	if ep == nil {
+		ep = &endpointCounter{}
+		c.endpoints[endpoint] = ep
+	}
+	ep.requests++
+	if status >= 400 {
+		ep.errors++
+	}
+	if len(ep.latencies) < latencyWindow {
+		ep.latencies = append(ep.latencies, ms)
+	} else {
+		ep.latencies[ep.next] = ms
+		ep.next = (ep.next + 1) % latencyWindow
+	}
+}
+
+func (c *counters) scheme(name string) { c.mu.Lock(); c.schemes[name]++; c.mu.Unlock() }
+func (c *counters) cacheHit()          { c.mu.Lock(); c.cacheHits++; c.mu.Unlock() }
+func (c *counters) cacheMiss()         { c.mu.Lock(); c.cacheMisses++; c.mu.Unlock() }
+func (c *counters) dedup()             { c.mu.Lock(); c.dedupCollapses++; c.mu.Unlock() }
+func (c *counters) reject()            { c.mu.Lock(); c.rejected++; c.mu.Unlock() }
+func (c *counters) evicted(models, cached int) {
+	c.mu.Lock()
+	c.evictedModels += uint64(models)
+	c.evictedCached += uint64(cached)
+	c.mu.Unlock()
+}
+
+// EndpointStats is one endpoint's row in the /statz report.
+type EndpointStats struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// Statz is the full /statz JSON document.
+type Statz struct {
+	UptimeSeconds  float64                  `json:"uptime_seconds"`
+	Draining       bool                     `json:"draining"`
+	Models         int                      `json:"models"`
+	Jobs           map[string]int           `json:"jobs"`
+	Endpoints      map[string]EndpointStats `json:"endpoints"`
+	Schemes        map[string]uint64        `json:"schemes"`
+	CacheHits      uint64                   `json:"cache_hits"`
+	CacheMisses    uint64                   `json:"cache_misses"`
+	CacheSize      int                      `json:"cache_size"`
+	DedupCollapses uint64                   `json:"dedup_collapses"`
+	Rejected       uint64                   `json:"rejected"`
+	EvictedModels  uint64                   `json:"evicted_models"`
+	EvictedCached  uint64                   `json:"evicted_cached"`
+}
+
+// snapshot assembles the endpoint/scheme/cache section of Statz; the
+// caller fills in registry/job/cache-size fields.
+func (c *counters) snapshot() Statz {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Statz{
+		UptimeSeconds:  time.Since(c.start).Seconds(),
+		Endpoints:      make(map[string]EndpointStats, len(c.endpoints)),
+		Schemes:        make(map[string]uint64, len(c.schemes)),
+		CacheHits:      c.cacheHits,
+		CacheMisses:    c.cacheMisses,
+		DedupCollapses: c.dedupCollapses,
+		Rejected:       c.rejected,
+		EvictedModels:  c.evictedModels,
+		EvictedCached:  c.evictedCached,
+	}
+	for name, ep := range c.endpoints {
+		s.Endpoints[name] = EndpointStats{
+			Requests: ep.requests,
+			Errors:   ep.errors,
+			P50MS:    stats.Quantile(ep.latencies, 0.50),
+			P90MS:    stats.Quantile(ep.latencies, 0.90),
+			P99MS:    stats.Quantile(ep.latencies, 0.99),
+		}
+	}
+	for name, n := range c.schemes {
+		s.Schemes[name] = n
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// LoadGenResult aggregates one load-generation run against a predictd
+// endpoint.
+type LoadGenResult struct {
+	Requests  int // completed request attempts
+	OK        int // 200 responses
+	Rejected  int // 429 backpressure responses
+	Errors    int // transport failures and non-200/429 statuses
+	CacheHits int // 200 responses served from the result cache
+}
+
+// HitRate returns the fraction of OK responses served from cache.
+func (r *LoadGenResult) HitRate() float64 {
+	if r.OK == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.OK)
+}
+
+// LoadGen drives POST /v1/predict with clients concurrent workers, each
+// issuing perClient requests round-robin over reqs — the test helper
+// behind `make serve-check`'s load drill and the predictd soak tests.
+// Transport errors are counted, not returned, so a drill can assert on
+// the exact shape of a degraded run.
+func LoadGen(baseURL string, clients, perClient int, reqs []PredictRequest) (*LoadGenResult, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs at least one request")
+	}
+	bodies := make([][]byte, len(reqs))
+	for i := range reqs {
+		b, err := json.Marshal(&reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	var mu sync.Mutex
+	total := &LoadGenResult{}
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			local := LoadGenResult{}
+			for i := 0; i < perClient; i++ {
+				body := bodies[(c*perClient+i)%len(bodies)]
+				local.Requests++
+				resp, err := http.Post(baseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					local.Errors++
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					local.OK++
+					var pr PredictResponse
+					if err := json.NewDecoder(resp.Body).Decode(&pr); err == nil && pr.Cached {
+						local.CacheHits++
+					}
+				case http.StatusTooManyRequests:
+					local.Rejected++
+				default:
+					local.Errors++
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			mu.Lock()
+			total.Requests += local.Requests
+			total.OK += local.OK
+			total.Rejected += local.Rejected
+			total.Errors += local.Errors
+			total.CacheHits += local.CacheHits
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return total, nil
+}

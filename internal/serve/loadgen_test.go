@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadGenDrivesPredictd drives a server with concurrent clients over
+// a small working set and asserts a clean run with a high cache-hit
+// rate — the soak drill behind `make serve-check`.
+func TestLoadGenDrivesPredictd(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 256, Deadline: 30 * time.Second})
+	defer s.Drain()
+
+	// four distinct feature-backed requests against the non-training
+	// khan2023 scheme: each computes once, then every repeat is a hit
+	reqs := []PredictRequest{
+		khanRequest(1.5),
+		khanRequest(2.5),
+		khanRequest(3.5),
+		khanRequest(4.5),
+	}
+	const clients, perClient = 8, 25
+	res, err := LoadGen(ts.URL, clients, perClient, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != clients*perClient {
+		t.Errorf("ran %d requests, want %d", res.Requests, clients*perClient)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d requests errored, want 0", res.Errors)
+	}
+	if res.Rejected != 0 {
+		t.Errorf("%d requests rejected, want 0 (queue depth covers the load)", res.Rejected)
+	}
+	if res.OK != res.Requests {
+		t.Errorf("%d OK of %d", res.OK, res.Requests)
+	}
+	// at most len(reqs) computes can miss; everything else must hit the
+	// cache or collapse into an in-flight compute
+	if hr := res.HitRate(); hr < 0.9 {
+		t.Errorf("cache hit rate %.2f, want >= 0.90", hr)
+	}
+	if st := statz(t, ts.URL); st.CacheHits == 0 || st.Endpoints["/v1/predict"].Requests != uint64(res.Requests) {
+		t.Errorf("statz inconsistent with loadgen: %+v", st)
+	}
+}
+
+func TestLoadGenNeedsRequests(t *testing.T) {
+	if _, err := LoadGen("http://127.0.0.1:0", 1, 1, nil); err == nil {
+		t.Error("LoadGen with no requests should error")
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import "sync"
+
+// workerPool runs submitted tasks on a fixed number of goroutines above a
+// bounded queue. When the queue is full, trySubmit refuses immediately —
+// the backpressure signal the HTTP layer turns into 429 + Retry-After —
+// instead of letting latency grow without bound under overload.
+type workerPool struct {
+	mu     sync.Mutex
+	tasks  chan func()
+	wg     sync.WaitGroup
+	closed bool
+}
+
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &workerPool{tasks: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues the task if a queue slot is free; false means the
+// pool is saturated (or draining) and the caller should shed load.
+func (p *workerPool) trySubmit(task func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// drain stops accepting work and blocks until every queued task has run —
+// the graceful-shutdown path.
+func (p *workerPool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/opthash"
+	"repro/internal/predictors"
+	"repro/internal/pressio"
+	"repro/internal/store"
+)
+
+// modelPrefix namespaces registry records in the shared store, beside the
+// bench's "cell/" and "fail/" spaces.
+const modelPrefix = "model/"
+
+// ErrNoModel is returned when no trained model exists for a (scheme,
+// compressor) pair.
+var ErrNoModel = errors.New("serve: no trained model")
+
+// ModelEntry is one persisted trained predictor.
+type ModelEntry struct {
+	// Key is the full registry key: modelPrefix + scheme/compressor/hash,
+	// where hash is the opthash of the (scheme, compressor options,
+	// training-set) tuple — §4.3's stable indexing applied to models.
+	Key string
+	// Scheme and Compressor identify what the model predicts for.
+	Scheme     string
+	Compressor string
+	// PredictorName records the model family (from Predictor.Name), kept
+	// for listings; the authoritative copy lives in the State envelope.
+	PredictorName string
+	// Target is the predicted result key, e.g. "size:compression_ratio".
+	Target string
+	// Features are the scheme's feature keys at fit time, in order.
+	Features []string
+	// Samples counts the training rows.
+	Samples int
+	// Seq orders entries for the same (scheme, compressor): lookups serve
+	// the highest.
+	Seq uint64
+	// State is the predictors.MarshalState envelope.
+	State []byte
+}
+
+// Registry is the model registry: a thin, fully cached layer over the
+// durable store. All methods are safe for concurrent use; reads are
+// served from memory, writes go through the store's WAL first.
+type Registry struct {
+	mu  sync.RWMutex
+	st  *store.Store
+	mem map[string]*ModelEntry // key → entry
+	seq uint64
+}
+
+// OpenRegistry loads every persisted model entry from the store.
+// Entries that fail to decode — from a corrupted record or a gob schema
+// change — are dropped (and deleted best-effort) rather than served.
+func OpenRegistry(st *store.Store) (*Registry, error) {
+	r := &Registry{st: st, mem: map[string]*ModelEntry{}}
+	keys, err := st.Keys(modelPrefix)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		raw, ok, err := st.Get(k)
+		if err != nil || !ok {
+			continue
+		}
+		var e ModelEntry
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&e); err != nil {
+			st.Delete(k)
+			continue
+		}
+		r.mem[k] = &e
+		if e.Seq > r.seq {
+			r.seq = e.Seq
+		}
+	}
+	return r, nil
+}
+
+// ModelKey builds the registry key for a (scheme, compressor options,
+// training-set) tuple.
+func ModelKey(scheme, compressor string, opts pressio.Options, training TrainingSpec) string {
+	schemeOpts := pressio.Options{}
+	schemeOpts.Set("serve:scheme", scheme)
+	schemeOpts.Set("serve:compressor", compressor)
+	trainOpts := pressio.Options{}
+	trainOpts.Set("training:fields", append([]string(nil), training.Fields...))
+	trainOpts.Set("training:steps", int64(training.Steps))
+	trainOpts.Set("training:dims", dimsKey(training.Dims))
+	bounds := make([]string, len(training.Bounds))
+	for i, b := range training.Bounds {
+		bounds[i] = fmt.Sprintf("%g", b)
+	}
+	trainOpts.Set("training:bounds", bounds)
+	hash := opthash.Combine(schemeOpts, opts, trainOpts)
+	return modelPrefix + scheme + "/" + compressor + "/" + hash
+}
+
+func dimsKey(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprint(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+// Put persists an entry (assigning its Seq) and publishes it to readers.
+func (r *Registry) Put(e *ModelEntry) error {
+	var buf bytes.Buffer
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return err
+	}
+	if err := r.st.Put(e.Key, buf.Bytes()); err != nil {
+		return err
+	}
+	r.mem[e.Key] = e
+	return nil
+}
+
+// Get returns the entry stored under key.
+func (r *Registry) Get(key string) (*ModelEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.mem[key]
+	return e, ok
+}
+
+// Lookup returns the newest entry for a (scheme, compressor) pair, or
+// ErrNoModel.
+func (r *Registry) Lookup(scheme, compressor string) (*ModelEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	prefix := modelPrefix + scheme + "/" + compressor + "/"
+	var best *ModelEntry
+	for k, e := range r.mem {
+		if strings.HasPrefix(k, prefix) && (best == nil || e.Seq > best.Seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w for scheme %q on compressor %q", ErrNoModel, scheme, compressor)
+	}
+	return best, nil
+}
+
+// List returns every entry, ordered by key.
+func (r *Registry) List() []*ModelEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*ModelEntry, 0, len(r.mem))
+	for _, e := range r.mem {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.mem)
+}
+
+// Restore rebuilds the trained predictor of an entry through the
+// predictors state envelope (typed errors on unknown/renamed predictor
+// names — see predictors.RestoreState).
+func (r *Registry) Restore(e *ModelEntry) (core.Predictor, error) {
+	return predictors.RestoreState(e.Scheme, e.Compressor, e.State)
+}
+
+// Invalidate applies the paper's predictors:invalidate semantics to the
+// registry: every model whose scheme is made stale by the given option
+// names or class keys (per core.SchemeStale — error_dependent covers
+// specific error-affecting options, predictors:training covers all
+// trained state) is evicted from memory and the store rather than served
+// stale. It returns the evicted keys, sorted.
+func (r *Registry) Invalidate(keys ...string) ([]string, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var evicted []string
+	staleByScheme := map[string]bool{}
+	for k, e := range r.mem {
+		stale, seen := staleByScheme[e.Scheme]
+		if !seen {
+			scheme, err := core.GetScheme(e.Scheme)
+			if err != nil {
+				// scheme gone from the registry since the model was
+				// trained: nothing can serve it, evict
+				stale = true
+			} else if stale, err = core.SchemeStale(scheme, keys); err != nil {
+				return nil, err
+			}
+			staleByScheme[e.Scheme] = stale
+		}
+		if !stale {
+			continue
+		}
+		if err := r.st.Delete(k); err != nil {
+			return nil, err
+		}
+		delete(r.mem, k)
+		evicted = append(evicted, k)
+	}
+	sort.Strings(evicted)
+	return evicted, nil
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/predictors"
+	"repro/internal/pressio"
+	"repro/internal/store"
+)
+
+// fitEntry trains a tiny krasowska2021 model and wraps it as a registry
+// entry.
+func fitEntry(t *testing.T, trainOpts pressio.Options, training TrainingSpec) *ModelEntry {
+	t.Helper()
+	scheme, err := core.GetScheme("krasowska2021")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := scheme.NewPredictor("sz3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}, {2, 0, 1}, {1, 2, 0}}
+	y := []float64{2, 3, 4, 9, 8, 7}
+	if err := p.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	state, err := predictors.MarshalState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ModelEntry{
+		Key:           ModelKey("krasowska2021", "sz3", trainOpts, training),
+		Scheme:        "krasowska2021",
+		Compressor:    "sz3",
+		PredictorName: p.Name(),
+		Target:        scheme.Target(),
+		Features:      scheme.Features(),
+		Samples:       len(x),
+		State:         state,
+	}
+}
+
+func openTestRegistry(t *testing.T, dir string) (*store.Store, *Registry) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, reg
+}
+
+func TestRegistryPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, reg := openTestRegistry(t, dir)
+	training := TrainingSpec{Fields: []string{"P"}, Steps: 2, Dims: []int{4, 4}, Bounds: []float64{1e-4}}
+	entry := fitEntry(t, pressio.Options{}, training)
+	if err := reg.Put(entry); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, reg2 := openTestRegistry(t, dir)
+	defer st2.Close()
+	if reg2.Len() != 1 {
+		t.Fatalf("reopened registry has %d entries, want 1", reg2.Len())
+	}
+	got, err := reg2.Lookup("krasowska2021", "sz3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != entry.Key || got.Samples != 6 || got.PredictorName != "linear_regression" {
+		t.Fatalf("reopened entry mismatch: %+v", got)
+	}
+	p, err := reg2.Restore(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict([]float64{1, 2, 3}); err != nil {
+		t.Fatalf("restored predictor should predict: %v", err)
+	}
+}
+
+func TestRegistryLookupServesNewest(t *testing.T) {
+	st, reg := openTestRegistry(t, t.TempDir())
+	defer st.Close()
+	t1 := TrainingSpec{Fields: []string{"P"}, Steps: 2, Bounds: []float64{1e-4}}
+	t2 := TrainingSpec{Fields: []string{"P", "CLOUD"}, Steps: 4, Bounds: []float64{1e-4}}
+	e1 := fitEntry(t, pressio.Options{}, t1)
+	e2 := fitEntry(t, pressio.Options{}, t2)
+	if e1.Key == e2.Key {
+		t.Fatal("different training sets must produce different model keys")
+	}
+	if err := reg.Put(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Lookup("krasowska2021", "sz3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != e2.Key {
+		t.Errorf("Lookup served %s, want the newest %s", got.Key, e2.Key)
+	}
+	if _, err := reg.Lookup("krasowska2021", "zfp"); !errors.Is(err, ErrNoModel) {
+		t.Errorf("unknown compressor: want ErrNoModel, got %v", err)
+	}
+	if len(reg.List()) != 2 {
+		t.Errorf("List returned %d entries, want 2", len(reg.List()))
+	}
+}
+
+func TestRegistryInvalidateEvictsStaleSchemes(t *testing.T) {
+	st, reg := openTestRegistry(t, t.TempDir())
+	defer st.Close()
+	training := TrainingSpec{Fields: []string{"P"}, Steps: 2, Bounds: []float64{1e-4}}
+	entry := fitEntry(t, pressio.Options{}, training)
+	if err := reg.Put(entry); err != nil {
+		t.Fatal(err)
+	}
+
+	// an unrelated option change leaves the model alone
+	evicted, err := reg.Invalidate("sz3:quant_bins_unrelated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("unrelated invalidation evicted %v", evicted)
+	}
+
+	// an error-dependent declaration evicts krasowska (quantized entropy
+	// is bound-dependent) — from memory AND the durable store
+	evicted, err = reg.Invalidate(pressio.InvalidateErrorDependent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != entry.Key {
+		t.Fatalf("evicted %v, want [%s]", evicted, entry.Key)
+	}
+	if _, err := reg.Lookup("krasowska2021", "sz3"); !errors.Is(err, ErrNoModel) {
+		t.Errorf("want ErrNoModel after eviction, got %v", err)
+	}
+	if _, ok, _ := st.Get(entry.Key); ok {
+		t.Error("evicted entry must be deleted from the store, not just memory")
+	}
+}
+
+func TestRegistryInvalidateTrainingEvictsAllTrained(t *testing.T) {
+	st, reg := openTestRegistry(t, t.TempDir())
+	defer st.Close()
+	training := TrainingSpec{Fields: []string{"P"}, Steps: 2, Bounds: []float64{1e-4}}
+	if err := reg.Put(fitEntry(t, pressio.Options{}, training)); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := reg.Invalidate(pressio.InvalidateTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 {
+		t.Errorf("predictors:training should evict every trained model, got %v", evicted)
+	}
+}

@@ -1,0 +1,525 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	_ "repro/internal/compressor/lossless" // register compressor plugins
+	_ "repro/internal/compressor/sz3"
+	_ "repro/internal/compressor/szx"
+	_ "repro/internal/compressor/zfp"
+	"repro/internal/core"
+	_ "repro/internal/metrics" // register metric plugins
+	"repro/internal/pressio"
+	"repro/internal/store"
+)
+
+// Config tunes the serving subsystem; zero values pick serving-friendly
+// defaults.
+type Config struct {
+	// Workers is the predict worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the pending predict queue; a full queue sheds
+	// load with 429 (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity (default 1024).
+	CacheSize int
+	// Deadline bounds each predict computation (default 30s).
+	Deadline time.Duration
+	// FitWorkers is the training worker-pool size (default 1).
+	FitWorkers int
+	// FitQueueDepth bounds queued training jobs (default 8).
+	FitQueueDepth int
+	// DefaultOptions are merged under every request's options (predictd
+	// -opts flag).
+	DefaultOptions pressio.Options
+
+	// testHookPredict, when set, runs inside every uncached predict
+	// computation — tests use it to hold worker slots busy.
+	testHookPredict func()
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.FitWorkers <= 0 {
+		c.FitWorkers = 1
+	}
+	if c.FitQueueDepth <= 0 {
+		c.FitQueueDepth = 8
+	}
+}
+
+// FitJob tracks one asynchronous training job.
+type FitJob struct {
+	ID         string
+	Scheme     string
+	Compressor string
+
+	mu       sync.Mutex
+	status   string // queued | running | done | failed
+	errMsg   string
+	modelKey string
+	samples  int
+}
+
+// JobView is the immutable JSON projection of a FitJob.
+type JobView struct {
+	ID         string `json:"id"`
+	Scheme     string `json:"scheme"`
+	Compressor string `json:"compressor"`
+	Status     string `json:"status"`
+	Error      string `json:"error,omitempty"`
+	Model      string `json:"model,omitempty"`
+	Samples    int    `json:"samples,omitempty"`
+}
+
+func (j *FitJob) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID: j.ID, Scheme: j.Scheme, Compressor: j.Compressor,
+		Status: j.status, Error: j.errMsg, Model: j.modelKey, Samples: j.samples,
+	}
+}
+
+func (j *FitJob) setStatus(status, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	j.mu.Unlock()
+}
+
+// Server is the prediction-serving subsystem: registry + cache +
+// singleflight + bounded pools behind an http.Handler.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *lruCache
+	flight   *flightGroup
+	pool     *workerPool
+	fitPool  *workerPool
+	stats    *counters
+	draining atomic.Bool
+
+	predMu    sync.Mutex
+	predCache map[string]core.Predictor
+
+	jobMu  sync.Mutex
+	jobs   map[string]*FitJob
+	jobSeq uint64
+}
+
+// New builds a Server over an open store (which it does not close).
+func New(st *store.Store, cfg Config) (*Server, error) {
+	cfg.defaults()
+	reg, err := OpenRegistry(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:       cfg,
+		registry:  reg,
+		cache:     newLRUCache(cfg.CacheSize),
+		flight:    newFlightGroup(),
+		pool:      newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		fitPool:   newWorkerPool(cfg.FitWorkers, cfg.FitQueueDepth),
+		stats:     newCounters(),
+		predCache: map[string]core.Predictor{},
+		jobs:      map[string]*FitJob{},
+	}, nil
+}
+
+// Registry exposes the model registry (predictd CLI introspection).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the predictd HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.timed("/v1/predict", s.handlePredict))
+	mux.HandleFunc("/v1/fit", s.timed("/v1/fit", s.handleFit))
+	mux.HandleFunc("/v1/jobs/", s.timed("/v1/jobs", s.handleJob))
+	mux.HandleFunc("/v1/models", s.timed("/v1/models", s.handleModels))
+	mux.HandleFunc("/v1/invalidate", s.timed("/v1/invalidate", s.handleInvalidate))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+// Drain stops accepting new work and blocks until in-flight predictions
+// and training jobs finish — the SIGTERM path. /healthz reports 503 from
+// the first call so load balancers stop routing here.
+func (s *Server) Drain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.pool.drain()
+	s.fitPool.drain()
+}
+
+// timed wraps a handler with the per-endpoint request/latency counters.
+func (s *Server) timed(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := h(w, r)
+		s.stats.observe(endpoint, status, time.Since(start).Seconds()*1e3)
+	}
+}
+
+// writeJSON emits a JSON body with the given status and returns the
+// status for the latency wrapper.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) int {
+	return writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errSaturated is the backpressure sentinel the predict path maps to 429.
+var errSaturated = errors.New("serve: worker pool saturated")
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		return writeError(w, http.StatusServiceUnavailable, "draining")
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if req.Scheme == "" || req.Compressor == "" {
+		return writeError(w, http.StatusBadRequest, "scheme and compressor are required")
+	}
+	if (req.Features == nil) == (req.Data == nil) {
+		return writeError(w, http.StatusBadRequest, "exactly one of features or data must be set")
+	}
+	scheme, err := core.GetScheme(req.Scheme)
+	if err != nil {
+		return writeError(w, http.StatusNotFound, "%v", err)
+	}
+	if !scheme.Supports(req.Compressor) {
+		return writeError(w, http.StatusBadRequest, "scheme %s does not support compressor %s", req.Scheme, req.Compressor)
+	}
+	opts, err := s.requestOptions(req.Options)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	s.stats.scheme(req.Scheme)
+
+	// trained schemes serve from the registry; a missing model is the
+	// client's cue to POST /v1/fit first
+	var entry *ModelEntry
+	if trains, terr := schemeTrains(scheme, req.Compressor); terr != nil {
+		return writeError(w, http.StatusBadRequest, "%v", terr)
+	} else if trains {
+		entry, err = s.registry.Lookup(req.Scheme, req.Compressor)
+		if errors.Is(err, ErrNoModel) {
+			return writeError(w, http.StatusNotFound, "%v — POST /v1/fit first", err)
+		} else if err != nil {
+			return writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+	}
+	modelKey := ""
+	if entry != nil {
+		modelKey = entry.Key
+	}
+	key := requestKey(&req, opts, modelKey)
+
+	if val, ok := s.cache.get(key); ok {
+		s.stats.cacheHit()
+		resp := val.resp
+		resp.Cached = true
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	s.stats.cacheMiss()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
+	defer cancel()
+
+	type flightOut struct {
+		resp   PredictResponse
+		err    error
+		shared bool
+	}
+	ch := make(chan flightOut, 1)
+	go func() {
+		resp, err, shared := s.flight.do(key, func() (PredictResponse, error) {
+			// the leader computes on the bounded pool; a full queue is
+			// the saturation signal
+			done := make(chan struct{})
+			var resp PredictResponse
+			var cerr error
+			// the compute context is detached from the leader's request
+			// so an impatient leader doesn't poison piggybacked callers
+			cctx, ccancel := context.WithTimeout(context.Background(), s.cfg.Deadline)
+			submitted := s.pool.trySubmit(func() {
+				defer close(done)
+				defer ccancel()
+				if s.cfg.testHookPredict != nil {
+					s.cfg.testHookPredict()
+				}
+				resp, cerr = s.predict(cctx, &req, opts, scheme, entry)
+			})
+			if !submitted {
+				ccancel()
+				return PredictResponse{}, errSaturated
+			}
+			<-done
+			if cerr == nil {
+				s.cache.add(key, cacheValue{resp: resp, scheme: req.Scheme})
+			}
+			return resp, cerr
+		})
+		ch <- flightOut{resp, err, shared}
+	}()
+
+	select {
+	case out := <-ch:
+		switch {
+		case errors.Is(out.err, errSaturated):
+			s.stats.reject()
+			w.Header().Set("Retry-After", "1")
+			return writeError(w, http.StatusTooManyRequests, "saturated: %d workers busy, queue full", s.cfg.Workers)
+		case out.err != nil:
+			return writeError(w, http.StatusBadRequest, "%v", out.err)
+		}
+		if out.shared {
+			s.stats.dedup()
+		}
+		return writeJSON(w, http.StatusOK, out.resp)
+	case <-ctx.Done():
+		return writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", s.cfg.Deadline)
+	}
+}
+
+// schemeTrains probes whether the scheme's predictor needs a trained
+// model for this compressor.
+func schemeTrains(scheme core.Scheme, compressor string) (bool, error) {
+	p, err := scheme.NewPredictor(compressor)
+	if err != nil {
+		return false, err
+	}
+	return p.Trains(), nil
+}
+
+// requestOptions merges request options over the server defaults.
+func (s *Server) requestOptions(m map[string]any) (pressio.Options, error) {
+	opts, err := optionsFromJSON(m)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.cfg.DefaultOptions) == 0 {
+		return opts, nil
+	}
+	merged := s.cfg.DefaultOptions.Clone()
+	merged.Merge(opts)
+	return merged, nil
+}
+
+// maxFitCells bounds one training job's observation count.
+const maxFitCells = 4096
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		return writeError(w, http.StatusServiceUnavailable, "draining")
+	}
+	var req FitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	scheme, err := core.GetScheme(req.Scheme)
+	if err != nil {
+		return writeError(w, http.StatusNotFound, "%v", err)
+	}
+	if !scheme.Supports(req.Compressor) {
+		return writeError(w, http.StatusBadRequest, "scheme %s does not support compressor %s", req.Scheme, req.Compressor)
+	}
+	if trains, terr := schemeTrains(scheme, req.Compressor); terr != nil {
+		return writeError(w, http.StatusBadRequest, "%v", terr)
+	} else if !trains {
+		return writeError(w, http.StatusBadRequest, "scheme %s does not train; predict directly", req.Scheme)
+	}
+	tr := &req.Training
+	if len(tr.Fields) == 0 || tr.Steps <= 0 || len(tr.Bounds) == 0 {
+		return writeError(w, http.StatusBadRequest, "training needs fields, steps, and bounds")
+	}
+	if len(tr.Dims) > 0 {
+		if err := checkDims(tr.Dims); err != nil {
+			return writeError(w, http.StatusBadRequest, "%v", err)
+		}
+	}
+	if cells := len(tr.Fields) * tr.Steps * len(tr.Bounds); cells > maxFitCells {
+		return writeError(w, http.StatusBadRequest, "training set of %d cells exceeds the %d-cell budget", cells, maxFitCells)
+	}
+	opts, err := s.requestOptions(req.Options)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+
+	s.jobMu.Lock()
+	s.jobSeq++
+	job := &FitJob{
+		ID:     fmt.Sprintf("job-%d", s.jobSeq),
+		Scheme: req.Scheme, Compressor: req.Compressor,
+		status: "queued",
+	}
+	s.jobs[job.ID] = job
+	s.jobMu.Unlock()
+
+	submitted := s.fitPool.trySubmit(func() {
+		job.setStatus("running", "")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*s.cfg.Deadline)
+		defer cancel()
+		if err := s.runFit(ctx, job, &req, opts, scheme); err != nil {
+			job.setStatus("failed", err.Error())
+			return
+		}
+		job.setStatus("done", "")
+	})
+	if !submitted {
+		s.jobMu.Lock()
+		delete(s.jobs, job.ID)
+		s.jobMu.Unlock()
+		s.stats.reject()
+		w.Header().Set("Retry-After", "5")
+		return writeError(w, http.StatusTooManyRequests, "fit queue full")
+	}
+	return writeJSON(w, http.StatusAccepted, FitResponse{JobID: job.ID})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, "GET only")
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	s.jobMu.Lock()
+	job, ok := s.jobs[id]
+	s.jobMu.Unlock()
+	if !ok {
+		return writeError(w, http.StatusNotFound, "no job %q", id)
+	}
+	return writeJSON(w, http.StatusOK, job.view())
+}
+
+// modelView is a ModelEntry listing without the state payload.
+type modelView struct {
+	Key        string   `json:"key"`
+	Scheme     string   `json:"scheme"`
+	Compressor string   `json:"compressor"`
+	Predictor  string   `json:"predictor"`
+	Target     string   `json:"target"`
+	Features   []string `json:"features"`
+	Samples    int      `json:"samples"`
+	StateBytes int      `json:"state_bytes"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, "GET only")
+	}
+	entries := s.registry.List()
+	out := make([]modelView, len(entries))
+	for i, e := range entries {
+		out[i] = modelView{
+			Key: e.Key, Scheme: e.Scheme, Compressor: e.Compressor,
+			Predictor: e.PredictorName, Target: e.Target,
+			Features: e.Features, Samples: e.Samples, StateBytes: len(e.State),
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	var req InvalidateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if len(req.Keys) == 0 {
+		return writeError(w, http.StatusBadRequest, "keys required")
+	}
+	evicted, err := s.registry.Invalidate(req.Keys...)
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	s.predMu.Lock()
+	for _, k := range evicted {
+		delete(s.predCache, k)
+	}
+	s.predMu.Unlock()
+
+	// clear cached predictions from schemes the declaration made stale
+	// (memoized per scheme; cache entries are the only source of names)
+	staleMemo := map[string]bool{}
+	cleared := s.cache.evictIf(func(v cacheValue) bool {
+		stale, ok := staleMemo[v.scheme]
+		if !ok {
+			scheme, err := core.GetScheme(v.scheme)
+			if err != nil {
+				stale = true
+			} else {
+				stale, _ = core.SchemeStale(scheme, req.Keys)
+			}
+			staleMemo[v.scheme] = stale
+		}
+		return stale
+	})
+	s.stats.evicted(len(evicted), cleared)
+	resp := InvalidateResponse{EvictedModels: evicted, ClearedCached: cleared}
+	if resp.EvictedModels == nil {
+		resp.EvictedModels = []string{}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := s.stats.snapshot()
+	st.Draining = s.draining.Load()
+	st.Models = s.registry.Len()
+	st.CacheSize = s.cache.len()
+	st.Jobs = map[string]int{}
+	s.jobMu.Lock()
+	for _, j := range s.jobs {
+		st.Jobs[j.view().Status]++
+	}
+	s.jobMu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}

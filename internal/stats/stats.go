@@ -78,6 +78,32 @@ func Median(xs []float64) float64 {
 	return (tmp[n/2-1] + tmp[n/2]) / 2
 }
 
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation between order statistics, or 0 for empty input. The input
+// is not modified. It backs the latency quantiles (p50/p90/p99) the
+// serving subsystem reports on /statz.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if q <= 0 {
+		return tmp[0]
+	}
+	if q >= 1 {
+		return tmp[len(tmp)-1]
+	}
+	pos := q * float64(len(tmp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := pos - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
 // MedAPE returns the median absolute percentage error (in percent) of
 // predictions against actuals — the prediction-quality metric of the
 // paper's evaluation. Pairs whose actual value is zero are skipped.

@@ -242,3 +242,30 @@ func TestToFloat64(t *testing.T) {
 		t.Error("int32 conversion wrong")
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %g, want 3", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("p0 = %g, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("p100 = %g, want 5", got)
+	}
+	// interpolation between order statistics: p25 of 1..5 is 2
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("p25 = %g, want 2", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.75); got != 1.75 {
+		t.Errorf("p75 of {1,2} = %g, want 1.75", got)
+	}
+	if got := Quantile(nil, 0.9); got != 0 {
+		t.Errorf("empty input = %g, want 0", got)
+	}
+	// input must not be reordered
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("input was modified: %v", xs)
+	}
+}

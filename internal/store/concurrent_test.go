@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentReadersDuringCompact hammers Get/Keys/Len from several
+// goroutines while a writer interleaves Puts with Compact cycles. Run
+// under -race (make check does) this pins down that compaction holds the
+// store's invariants while readers are in flight: no torn reads, no keys
+// transiently missing, values matching what was written.
+func TestConcurrentReadersDuringCompact(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const stableKeys = 16
+	for i := 0; i < stableKeys; i++ {
+		if err := st.Put(key(i), []byte(fmt.Sprintf("stable-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// readers: stable keys must always be visible with the right value,
+	// through every Compact
+	const readers = 4
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := key(i % stableKeys)
+				v, ok, err := st.Get(k)
+				if err != nil {
+					t.Errorf("reader %d: Get(%s): %v", r, k, err)
+					return
+				}
+				if !ok {
+					t.Errorf("reader %d: stable key %s vanished mid-compaction", r, k)
+					return
+				}
+				if want := fmt.Sprintf("stable-%d", i%stableKeys); string(v) != want {
+					t.Errorf("reader %d: Get(%s) = %q, want %q", r, k, v, want)
+					return
+				}
+				keys, err := st.Keys("stable/")
+				if err != nil {
+					t.Errorf("reader %d: Keys: %v", r, err)
+					return
+				}
+				if len(keys) < stableKeys {
+					t.Errorf("reader %d: Keys sees %d stable keys, want >= %d", r, len(keys), stableKeys)
+					return
+				}
+				if st.Len() < stableKeys {
+					t.Errorf("reader %d: Len = %d, want >= %d", r, st.Len(), stableKeys)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// writer: churn volatile keys and compact repeatedly under the readers
+	const rounds = 20
+	for round := 0; round < rounds; round++ {
+		volatile := fmt.Sprintf("volatile/%d", round)
+		if err := st.Put(volatile, []byte("x")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if round > 0 {
+			if err := st.Delete(fmt.Sprintf("volatile/%d", round-1)); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+		}
+		if err := st.Compact(); err != nil {
+			t.Fatalf("Compact round %d: %v", round, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// the compacted store reopens with exactly the surviving records
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(st.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Len(); got != stableKeys+1 {
+		t.Errorf("reopened store has %d records, want %d", got, stableKeys+1)
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("stable/%d", i) }
