@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt-check serve-check stress bench clean
+.PHONY: build test check fmt-check serve-check stress bench bench-baseline bench-check clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,9 @@ check: fmt-check
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -short ./...
+ifdef BENCH
+	$(MAKE) bench-check
+endif
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -34,6 +37,19 @@ stress:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-baseline re-measures the kernel microbenchmarks and rewrites the
+# committed BENCH_kernels.json. Run it only on a quiet machine after a
+# deliberate performance change, and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/benchgate -baseline
+
+# bench-check re-runs the kernel benchmarks and fails if ns/op or
+# allocs/op regressed more than 10% against BENCH_kernels.json. It is
+# wired into `make check` behind BENCH=1 (benchmarks need a quiet
+# machine, so the default check stays deterministic).
+bench-check:
+	$(GO) run ./cmd/benchgate -check
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,225 @@
+package repro
+
+// Kernel microbenchmarks backing the BENCH_kernels.json regression gate
+// (make bench-baseline / make bench-check). Each compressor benchmark has a
+// serial variant (pressio:nthreads=1) and a parallel variant (nthreads=0,
+// i.e. all cores), so the baseline records both the single-thread cost and
+// the scaling headroom; the gate fails when either regresses by more than
+// 10% in ns/op or allocs/op. The metrics benchmarks pin the fused
+// single-pass feature extraction against the per-metric multi-pass chain
+// it replaced.
+
+import (
+	"testing"
+
+	"repro/internal/huffman"
+	"repro/internal/pressio"
+	"repro/internal/stats"
+)
+
+func kernelOpts(b *testing.B, abs float64, nthreads int) pressio.Options {
+	b.Helper()
+	o := pressio.Options{}
+	o.Set(pressio.OptAbs, abs)
+	o.Set(pressio.OptNThreads, int64(nthreads))
+	return o
+}
+
+func benchmarkKernelCompress(b *testing.B, name string, nthreads int) {
+	data := benchField(b, "TC", 24)
+	comp, err := pressio.GetCompressor(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := comp.SetOptions(kernelOpts(b, 1e-4, nthreads)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(data.ByteSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkKernelDecompress(b *testing.B, name string, nthreads int) {
+	data := benchField(b, "TC", 24)
+	comp, err := pressio.GetCompressor(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := comp.SetOptions(kernelOpts(b, 1e-4, nthreads)); err != nil {
+		b.Fatal(err)
+	}
+	compressed, err := comp.Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := pressio.New(data.DType(), data.Dims()...)
+	b.SetBytes(int64(data.ByteSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := comp.Decompress(compressed, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSZ3Compress(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkKernelCompress(b, "sz3", 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkKernelCompress(b, "sz3", 0) })
+}
+
+func BenchmarkKernelSZ3Decompress(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkKernelDecompress(b, "sz3", 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkKernelDecompress(b, "sz3", 0) })
+}
+
+func BenchmarkKernelZFPCompress(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkKernelCompress(b, "zfp", 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkKernelCompress(b, "zfp", 0) })
+}
+
+func BenchmarkKernelZFPDecompress(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkKernelDecompress(b, "zfp", 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkKernelDecompress(b, "zfp", 0) })
+}
+
+func BenchmarkKernelSZXCompress(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkKernelCompress(b, "szx", 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkKernelCompress(b, "szx", 0) })
+}
+
+func BenchmarkKernelSZXDecompress(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkKernelDecompress(b, "szx", 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkKernelDecompress(b, "szx", 0) })
+}
+
+// BenchmarkKernelHuffman pins the entropy-coding stage alone: the code
+// stream below matches the size and skew of an sz3 quantizer output.
+func BenchmarkKernelHuffman(b *testing.B) {
+	data := benchField(b, "TC", 24)
+	n := data.Len()
+	codes := make([]int32, n)
+	state := uint64(1)
+	for i := range codes {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		// geometric-ish code distribution centred at zero
+		v := int32(state%7) - 3
+		if state%64 == 0 {
+			v = int32(state%1024) - 512
+		}
+		codes[i] = v
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := huffman.Encode(codes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	coded, err := huffman.Encode(codes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := huffman.Decode(coded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKernelFusedSummary pins the single-pass fused extractor on its
+// own: one parallel sweep producing min/max/mean/std/sparsity/histogram.
+// Touch invalidates the per-buffer cache each iteration so every pass is
+// a real recomputation, not a cache hit.
+func BenchmarkKernelFusedSummary(b *testing.B) {
+	data := benchField(b, "TC", 24)
+	b.SetBytes(int64(data.ByteSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data.Touch()
+		if s := stats.SummaryOf(data, 4096, 1); s.N != data.Len() {
+			b.Fatalf("summary covered %d of %d elements", s.N, data.Len())
+		}
+	}
+}
+
+// BenchmarkKernelMetricsChain runs the Stat+Entropy+QuantizedEntropy
+// metric chain the way predictd's feature synthesis and the bench metric
+// stage do. Before the fused summary each metric re-materialized the input
+// as a fresh []float64 and did its own full passes; the chain now shares
+// one per-buffer summary, which this benchmark's ns/op and allocs/op pin.
+func BenchmarkKernelMetricsChain(b *testing.B) {
+	data := benchField(b, "TC", 24)
+	names := []string{"stat", "entropy", "quantized_entropy"}
+	chain := make([]pressio.Metric, 0, len(names))
+	for _, name := range names {
+		m, err := pressio.GetMetric(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SetOptions(kernelOpts(b, 1e-4, 1)); err != nil {
+			b.Fatal(err)
+		}
+		chain = append(chain, m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range chain {
+			m.BeginCompress(data)
+			if len(m.Results()) == 0 {
+				b.Fatal("empty results")
+			}
+		}
+	}
+}
+
+// BenchmarkKernelMetricsLegacy measures the pre-fusion cost the chain
+// used to pay — one float64 materialization plus independent full passes
+// per metric — kept as the reference the fused path is compared against
+// in BENCH_kernels.json.
+func BenchmarkKernelMetricsLegacy(b *testing.B) {
+	data := benchField(b, "TC", 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// stat: copy + range + mean + std (two passes) + sparsity
+		xs := legacyToFloat64(data)
+		lo, hi := data.Range()
+		_ = stats.Mean(xs)
+		_ = stats.Std(xs)
+		_ = stats.Sparsity(xs, 0)
+		// entropy: copy + range + histogram
+		xs = legacyToFloat64(data)
+		h := stats.Histogram(xs, lo, hi, 4096)
+		_ = stats.EntropyFromCounts(h)
+		// quantized entropy: copy + quantize-count pass
+		xs = legacyToFloat64(data)
+		_ = stats.QuantizedEntropy(xs, 1e-4)
+	}
+}
+
+// legacyToFloat64 reproduces the original per-metric conversion: always a
+// fresh copy for non-float64 buffers.
+func legacyToFloat64(d *pressio.Data) []float64 {
+	if d.DType() == pressio.DTypeFloat64 {
+		return d.Float64()
+	}
+	out := make([]float64, d.Len())
+	for i := range out {
+		out[i] = d.At(i)
+	}
+	return out
+}

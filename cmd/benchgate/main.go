@@ -1,0 +1,219 @@
+// Command benchgate runs the kernel microbenchmarks in bench_kernels_test.go
+// and gates them against the committed BENCH_kernels.json baseline.
+//
+//	benchgate -baseline   re-measure and rewrite BENCH_kernels.json
+//	benchgate -check      re-measure and fail on >10% ns/op or allocs/op
+//	                      regression against the committed baseline
+//
+// The baseline file also carries the pre-optimization "seed" numbers the
+// block-parallel refactor was measured against, so the file doubles as
+// the before/after record referenced by EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's gated metrics.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed BENCH_kernels.json schema.
+type Baseline struct {
+	Note       string                 `json:"note"`
+	GoVersion  string                 `json:"go_version"`
+	CPU        string                 `json:"cpu"`
+	BenchTime  string                 `json:"benchtime"`
+	Seed       map[string]Measurement `json:"seed,omitempty"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+const (
+	baselineFile = "BENCH_kernels.json"
+	benchPattern = "^BenchmarkKernel"
+	benchTime    = "2s"
+	tolerance    = 0.10
+)
+
+func main() {
+	baseline := flag.Bool("baseline", false, "re-measure and rewrite "+baselineFile)
+	check := flag.Bool("check", false, "re-measure and compare against "+baselineFile)
+	file := flag.String("file", baselineFile, "baseline file path")
+	flag.Parse()
+	if *baseline == *check {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -baseline or -check is required")
+		os.Exit(2)
+	}
+
+	results, cpu, err := runBenchmarks()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks matched", benchPattern)
+		os.Exit(1)
+	}
+
+	if *baseline {
+		if err := writeBaseline(*file, results, cpu); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(results), *file)
+		return
+	}
+
+	prev, err := readBaseline(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v (run `make bench-baseline` first)\n", err)
+		os.Exit(1)
+	}
+	if failures := compare(prev.Benchmarks, results); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of %s\n", len(results), tolerance*100, *file)
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkKernelSZ3Compress/serial-4   142   8400000 ns/op   164 MB/s   12 B/op   166 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
+
+// runBenchmarks executes the kernel benchmark suite once and parses the
+// per-benchmark ns/op and allocs/op.
+func runBenchmarks() (map[string]Measurement, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", benchPattern, "-benchtime", benchTime, "-count", "1", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, "", fmt.Errorf("go test -bench failed: %v\n%s", err, out)
+	}
+	results := make(map[string]Measurement)
+	cpu := ""
+	for _, line := range strings.Split(string(out), "\n") {
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		allocs := 0.0
+		if m[3] != "" {
+			allocs, _ = strconv.ParseFloat(m[3], 64)
+		}
+		results[m[1]] = Measurement{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	return results, cpu, nil
+}
+
+// compare returns a description of every benchmark whose ns/op or
+// allocs/op regressed past the tolerance, plus baselined benchmarks that
+// disappeared (a deleted benchmark silently ungates its kernel).
+func compare(base, cur map[string]Measurement) []string {
+	var failures []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not in current run", name))
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (+%.1f%%, limit +%.0f%%)",
+				name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), tolerance*100))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+tolerance)+0.5 {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (+%.1f%%, limit +%.0f%%)",
+				name, c.AllocsPerOp, b.AllocsPerOp, 100*(c.AllocsPerOp/b.AllocsPerOp-1), tolerance*100))
+		}
+	}
+	return failures
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, results map[string]Measurement, cpu string) error {
+	b := &Baseline{
+		Note: "Kernel benchmark baseline for `make bench-check` (>10% ns/op or allocs/op " +
+			"regression fails). Regenerate with `make bench-baseline` on a quiet machine. " +
+			"The seed section records the pre-optimization serial numbers the " +
+			"block-parallel refactor started from; see EXPERIMENTS.md.",
+		GoVersion:  goVersion(),
+		CPU:        cpu,
+		BenchTime:  benchTime,
+		Benchmarks: results,
+	}
+	// carry the seed record forward across re-baselines
+	if prev, err := readBaseline(path); err == nil && len(prev.Seed) > 0 {
+		b.Seed = prev.Seed
+	} else {
+		b.Seed = seedMeasurements
+	}
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// seedMeasurements are the serial kernel costs measured at the seed
+// commit, before the block-parallel refactor and scratch pooling. They
+// are informational (the gate compares against Benchmarks, not Seed) and
+// exist so the before/after of the refactor stays in the repo.
+var seedMeasurements = map[string]Measurement{
+	"BenchmarkKernelSZ3Compress/serial":   {NsPerOp: 10476875, AllocsPerOp: 1983},
+	"BenchmarkKernelSZ3Decompress/serial": {NsPerOp: 9655051, AllocsPerOp: 1908},
+	"BenchmarkKernelZFPCompress/serial":   {NsPerOp: 7379664, AllocsPerOp: 107},
+	"BenchmarkKernelZFPDecompress/serial": {NsPerOp: 8303976, AllocsPerOp: 74},
+	"BenchmarkKernelSZXCompress/serial":   {NsPerOp: 1032712, AllocsPerOp: 36},
+	"BenchmarkKernelSZXDecompress/serial": {NsPerOp: 219535, AllocsPerOp: 1},
+	"BenchmarkKernelHuffman/encode":       {NsPerOp: 2192285, AllocsPerOp: 90},
+	"BenchmarkKernelHuffman/decode":       {NsPerOp: 2040868, AllocsPerOp: 52},
+	"BenchmarkKernelMetricsChain":         {NsPerOp: 12109051, AllocsPerOp: 542},
+}

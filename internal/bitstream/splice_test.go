@@ -1,0 +1,78 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendWriterMatchesSerial pins the splice guarantee the parallel
+// entropy coders rely on: encoding a stream in chunks into separate
+// writers and splicing them equals encoding serially into one writer.
+func TestAppendWriterMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type item struct {
+		v uint64
+		n uint
+	}
+	items := make([]item, 5000)
+	for i := range items {
+		n := uint(rng.Intn(58) + 1)
+		items[i] = item{v: rng.Uint64() & ((1 << n) - 1), n: n}
+	}
+
+	var serial Writer
+	for _, it := range items {
+		serial.WriteBits(it.v, it.n)
+	}
+	want := serial.Bytes()
+
+	for _, chunks := range []int{1, 2, 3, 7, 16} {
+		var spliced Writer
+		per := (len(items) + chunks - 1) / chunks
+		for lo := 0; lo < len(items); lo += per {
+			hi := lo + per
+			if hi > len(items) {
+				hi = len(items)
+			}
+			w := GetWriter()
+			for _, it := range items[lo:hi] {
+				w.WriteBits(it.v, it.n)
+			}
+			spliced.AppendWriter(w)
+			PutWriter(w)
+		}
+		if got := spliced.Bytes(); !bytes.Equal(got, want) {
+			t.Fatalf("chunks=%d: spliced stream differs from serial (%d vs %d bytes)", chunks, len(got), len(want))
+		}
+	}
+}
+
+func TestAppendBitsPartial(t *testing.T) {
+	// append 13 of 16 bits from a buffer into a writer already holding 3
+	// bits, crossing every alignment case
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.AppendBits([]byte{0xAB, 0xCD}, 13)
+	got := w.Bytes()
+	var ref Writer
+	ref.WriteBits(0b101, 3)
+	ref.WriteBits(0xABCD>>3, 13)
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Fatalf("AppendBits partial: got %x, want %x", got, ref.Bytes())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBits(1, 3)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatalf("BitLen after Reset = %d, want 0", w.BitLen())
+	}
+	w.WriteBits(0xA5, 8)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0xA5 {
+		t.Fatalf("post-Reset write: got %x", got)
+	}
+}

@@ -10,10 +10,25 @@
 // model analyses (prediction → quantization → encoding), which is what
 // makes the prediction problem studied in the paper well-posed against
 // this implementation.
+//
+// The Lorenzo kernels run block-parallel over a wavefront decomposition
+// (DESIGN.md §10): the innermost dimension forms contiguous rows, rows are
+// grouped by the sum of their leading coordinates, and every row in a
+// diagonal group depends only on rows from earlier groups — so groups run
+// in order while rows within a group run concurrently on the shared
+// worker pool. The interpolation kernels parallelize per refinement
+// level. Both produce bit-identical output to the serial traversal for
+// any worker count: element arithmetic and ordering are unchanged, only
+// the schedule differs.
 package sz3
 
 import (
 	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // OutlierCode is the quantization-code sentinel marking a value that could
@@ -29,6 +44,30 @@ func CastFloat32(x float64) float64 { return float64(float32(x)) }
 
 // CastFloat64 is the identity: float64 storage is exact.
 func CastFloat64(x float64) float64 { return x }
+
+// cast kinds let the hot loops specialize the two casts this package
+// defines instead of paying an indirect call per element; unknown cast
+// functions fall back to the indirect path.
+const (
+	castIdentity = iota
+	castF32
+	castGeneric
+)
+
+// castKindOf classifies a cast function by probing it with values that
+// separate identity from float32 rounding. Anything else is generic.
+func castKindOf(c CastFunc) int {
+	if c == nil {
+		return castGeneric
+	}
+	if c(math.Pi) == math.Pi && c(-math.E) == -math.E {
+		return castIdentity
+	}
+	if c(math.Pi) == float64(float32(math.Pi)) && c(1.5) == 1.5 && c(-math.E) == float64(float32(-math.E)) {
+		return castF32
+	}
+	return castGeneric
+}
 
 // Quantizer performs linear-scaling quantization of prediction residuals
 // against an absolute error bound.
@@ -101,6 +140,53 @@ func lorenzoTerms(dims []int) []lorenzoTerm {
 	return terms
 }
 
+// lorenzoPlan caches everything shape-dependent the Lorenzo kernels need:
+// the term enumeration and, for every boundary mask, the filtered term
+// subsequence. Plans are immutable after construction and shared across
+// calls and goroutines (the enumeration used to be rebuilt per call).
+type lorenzoPlan struct {
+	dims   []int
+	str    []int
+	terms  []lorenzoTerm
+	byMask [][]lorenzoTerm // indexed by haveMask; order preserved
+}
+
+var lorenzoPlanCache sync.Map // string key -> *lorenzoPlan
+
+func lorenzoPlanFor(dims []int) *lorenzoPlan {
+	key := make([]byte, 0, 4*len(dims))
+	for _, d := range dims {
+		key = strconv.AppendInt(key, int64(d), 10)
+		key = append(key, 'x')
+	}
+	if p, ok := lorenzoPlanCache.Load(string(key)); ok {
+		return p.(*lorenzoPlan)
+	}
+	nd := len(dims)
+	p := &lorenzoPlan{
+		dims:  append([]int(nil), dims...),
+		str:   make([]int, nd),
+		terms: lorenzoTerms(dims),
+	}
+	acc := 1
+	for i := nd - 1; i >= 0; i-- {
+		p.str[i] = acc
+		acc *= dims[i]
+	}
+	p.byMask = make([][]lorenzoTerm, 1<<nd)
+	for m := uint32(0); m < 1<<nd; m++ {
+		var sub []lorenzoTerm
+		for _, t := range p.terms {
+			if t.mask&m == t.mask {
+				sub = append(sub, t)
+			}
+		}
+		p.byMask[m] = sub
+	}
+	lorenzoPlanCache.Store(string(key), p)
+	return p
+}
+
 // PredictQuantizeLorenzo runs the Lorenzo predictor + quantizer over vals
 // (C-ordered with the given dims) and returns the quantization codes, the
 // exactly-stored outlier values, and the reconstruction. It is exported
@@ -108,79 +194,324 @@ func lorenzoTerms(dims []int) []lorenzoTerm {
 // prediction schemes re-run exactly this stage to estimate the code
 // distribution without paying for the encoding stages.
 func PredictQuantizeLorenzo(vals []float64, dims []int, q *Quantizer) (codes []int32, outliers []float64, recon []float64) {
+	return PredictQuantizeLorenzoN(vals, dims, q, 0)
+}
+
+// PredictQuantizeLorenzoN is PredictQuantizeLorenzo with an explicit
+// worker cap (0 = all cores). Output is identical for every worker count.
+func PredictQuantizeLorenzoN(vals []float64, dims []int, q *Quantizer, workers int) (codes []int32, outliers []float64, recon []float64) {
+	codes = make([]int32, len(vals))
+	recon = make([]float64, len(vals))
+	outliers = predictQuantizeLorenzoInto(codes, recon, vals, dims, q, workers)
+	return codes, outliers, recon
+}
+
+// predictQuantizeLorenzoInto runs the Lorenzo stage into caller-provided
+// codes and recon buffers (len(vals) each, fully overwritten), so the
+// compressor can recycle them through a pool.
+func predictQuantizeLorenzoInto(codes []int32, recon []float64, vals []float64, dims []int, q *Quantizer, workers int) (outliers []float64) {
 	n := len(vals)
-	codes = make([]int32, n)
-	recon = make([]float64, n)
-	terms := lorenzoTerms(dims)
-	nd := len(dims)
-	coords := make([]int, nd)
-	// boundary mask: bit d set when coords[d] >= 1
-	var haveMask uint32
-	for i := 0; i < n; i++ {
+	if n == 0 {
+		return nil
+	}
+	plan := lorenzoPlanFor(dims)
+	kind := castKindOf(q.Cast)
+	var outlierCount int64
+	forEachRowWavefront(plan, workers, func(base, rowLen int, mask uint32) {
+		c := lorenzoRowCompress(vals, recon, codes, base, rowLen, plan, mask, q, kind)
+		if c != 0 {
+			atomic.AddInt64(&outlierCount, int64(c))
+		}
+	})
+	if outlierCount > 0 {
+		// serial gather keeps the outlier stream in index order, exactly
+		// as the serial traversal emitted it (recon holds the cast value)
+		outliers = make([]float64, 0, outlierCount)
+		for i, c := range codes {
+			if c == OutlierCode {
+				outliers = append(outliers, recon[i])
+			}
+		}
+	}
+	return outliers
+}
+
+// lorenzoRowCompress quantizes one contiguous row. mask carries the
+// boundary bits of the row's leading coordinates; the innermost bit is
+// handled per element (clear for element 0, set afterwards). Returns the
+// row's outlier count.
+func lorenzoRowCompress(vals, recon []float64, codes []int32, base, rowLen int, plan *lorenzoPlan, mask uint32, q *Quantizer, kind int) int {
+	nd := len(plan.dims)
+	lastBit := uint32(1) << (nd - 1)
+	first := plan.byMask[mask&^lastBit]
+	rest := plan.byMask[mask|lastBit]
+	step := 2 * q.Abs
+	abs := q.Abs
+	half := float64(q.Bins / 2)
+	f32 := kind == castF32
+	generic := kind == castGeneric
+	out := 0
+
+	// interior rows of 2-D/3-D data take a branch-free unrolled
+	// prediction; everything else walks the cached filtered term list
+	interior3 := nd == 3 && len(rest) == 7
+	interior2 := nd == 2 && len(rest) == 3
+	var o1, o2, o3 int
+	if interior3 {
+		o1, o2, o3 = plan.str[0], plan.str[1], plan.str[0]+plan.str[1]
+	} else if interior2 {
+		o1 = plan.str[0]
+	}
+
+	// rolling neighbour registers for the interior kernels: at element k,
+	// the "-1" column values are exactly the previous iteration's loads,
+	// and the in-row neighbour is the value just written — so interior
+	// rows issue three (3-D) or one (2-D) fresh loads per element. The
+	// summands and their order are unchanged, so the float results are
+	// bit-identical to the term-list walk.
+	var p1, p2, p3, prev float64
+	if interior3 {
+		p1, p2, p3 = recon[base-o1], recon[base-o2], recon[base-o3]
+	} else if interior2 {
+		p1 = recon[base-o1]
+	}
+
+	for k := 0; k < rowLen; k++ {
+		i := base + k
 		var pred float64
-		for _, t := range terms {
-			if t.mask&haveMask == t.mask {
+		switch {
+		case k == 0:
+			for _, t := range first {
+				pred += t.sign * recon[i-t.offset]
+			}
+		case interior3:
+			n1, n2, n3 := recon[i-o1], recon[i-o2], recon[i-o3]
+			pred = n1 + n2 - n3 + prev - p1 - p2 + p3
+			p1, p2, p3 = n1, n2, n3
+		case interior2:
+			n1 := recon[i-o1]
+			pred = n1 + prev - p1
+			p1 = n1
+		default:
+			for _, t := range rest {
 				pred += t.sign * recon[i-t.offset]
 			}
 		}
-		code, r := q.Quantize(vals[i], pred)
-		codes[i] = code
-		recon[i] = r
-		if code == OutlierCode {
-			outliers = append(outliers, r)
-		}
-		// advance C-order coordinates and maintain haveMask
-		for d := nd - 1; d >= 0; d-- {
-			coords[d]++
-			if coords[d] == 1 {
-				haveMask |= 1 << d
+		if generic {
+			code, r := q.Quantize(vals[i], pred)
+			codes[i] = code
+			recon[i] = r
+			prev = r
+			if code == OutlierCode {
+				out++
 			}
-			if coords[d] < dims[d] {
-				break
-			}
-			coords[d] = 0
-			haveMask &^= 1 << d
+			continue
 		}
+		v := vals[i]
+		c := math.Round((v - pred) / step)
+		if c < half && c > -half {
+			cand := pred + c*step
+			if f32 {
+				cand = float64(float32(cand))
+			}
+			ad := cand - v
+			if ad < 0 {
+				ad = -ad
+			}
+			if ad <= abs {
+				codes[i] = int32(c)
+				recon[i] = cand
+				prev = cand
+				continue
+			}
+		}
+		cand := v
+		if f32 {
+			cand = float64(float32(cand))
+		}
+		codes[i] = OutlierCode
+		recon[i] = cand
+		prev = cand
+		out++
 	}
-	return codes, outliers, recon
+	return out
 }
 
 // ReconstructLorenzo inverts PredictQuantizeLorenzo given the codes and
 // outlier stream.
 func ReconstructLorenzo(codes []int32, outliers []float64, dims []int, q *Quantizer) []float64 {
+	return ReconstructLorenzoN(codes, outliers, dims, q, 0)
+}
+
+// ReconstructLorenzoN is ReconstructLorenzo with an explicit worker cap.
+func ReconstructLorenzoN(codes []int32, outliers []float64, dims []int, q *Quantizer, workers int) []float64 {
 	n := len(codes)
 	recon := make([]float64, n)
-	terms := lorenzoTerms(dims)
-	nd := len(dims)
-	coords := make([]int, nd)
-	var haveMask uint32
-	oi := 0
-	for i := 0; i < n; i++ {
+	if n == 0 {
+		return recon
+	}
+	plan := lorenzoPlanFor(dims)
+	kind := castKindOf(q.Cast)
+	rowLen := plan.dims[len(plan.dims)-1]
+	if len(plan.dims) == 1 {
+		rowLen = n
+	}
+	// rows consume the outlier stream in index order: precompute each
+	// row's starting offset when outliers are present
+	var rowOi []int
+	if len(outliers) > 0 {
+		nrows := n / rowLen
+		rowOi = make([]int, nrows)
+		run := 0
+		for r := 0; r < nrows; r++ {
+			rowOi[r] = run
+			lo := r * rowLen
+			for _, c := range codes[lo : lo+rowLen] {
+				if c == OutlierCode {
+					run++
+				}
+			}
+		}
+	}
+	forEachRowWavefront(plan, workers, func(base, rl int, mask uint32) {
+		oi := 0
+		if rowOi != nil {
+			oi = rowOi[base/rowLen]
+		}
+		lorenzoRowDecompress(codes, outliers, recon, base, rl, plan, mask, q, kind, oi)
+	})
+	return recon
+}
+
+// lorenzoRowDecompress reconstructs one contiguous row; oi is the row's
+// starting index into the outlier stream.
+func lorenzoRowDecompress(codes []int32, outliers, recon []float64, base, rowLen int, plan *lorenzoPlan, mask uint32, q *Quantizer, kind, oi int) {
+	nd := len(plan.dims)
+	lastBit := uint32(1) << (nd - 1)
+	first := plan.byMask[mask&^lastBit]
+	rest := plan.byMask[mask|lastBit]
+	step := 2 * q.Abs
+	f32 := kind == castF32
+	generic := kind == castGeneric
+
+	interior3 := nd == 3 && len(rest) == 7
+	interior2 := nd == 2 && len(rest) == 3
+	var o1, o2, o3 int
+	if interior3 {
+		o1, o2, o3 = plan.str[0], plan.str[1], plan.str[0]+plan.str[1]
+	} else if interior2 {
+		o1 = plan.str[0]
+	}
+
+	for k := 0; k < rowLen; k++ {
+		i := base + k
 		var pred float64
-		for _, t := range terms {
-			if t.mask&haveMask == t.mask {
+		switch {
+		case k == 0:
+			for _, t := range first {
+				pred += t.sign * recon[i-t.offset]
+			}
+		case interior3:
+			pred = recon[i-o1] + recon[i-o2] - recon[i-o3] + recon[i-1] - recon[i-o1-1] - recon[i-o2-1] + recon[i-o3-1]
+		case interior2:
+			pred = recon[i-o1] + recon[i-1] - recon[i-o1-1]
+		default:
+			for _, t := range rest {
 				pred += t.sign * recon[i-t.offset]
 			}
 		}
 		if codes[i] == OutlierCode {
-			recon[i] = q.Cast(outliers[oi])
+			v := outliers[oi]
 			oi++
-		} else {
-			recon[i] = q.Reconstruct(codes[i], pred)
-		}
-		for d := nd - 1; d >= 0; d-- {
-			coords[d]++
-			if coords[d] == 1 {
-				haveMask |= 1 << d
+			switch {
+			case f32:
+				v = float64(float32(v))
+			case generic:
+				v = q.Cast(v)
 			}
-			if coords[d] < dims[d] {
-				break
-			}
-			coords[d] = 0
-			haveMask &^= 1 << d
+			recon[i] = v
+			continue
 		}
+		r := pred + float64(codes[i])*step
+		switch {
+		case f32:
+			r = float64(float32(r))
+		case generic:
+			r = q.Cast(r)
+		}
+		recon[i] = r
 	}
-	return recon
+}
+
+// rowRef is one row of a wavefront diagonal: its flat base index and the
+// boundary mask of its leading coordinates.
+type rowRef struct {
+	base int
+	mask uint32
+}
+
+// forEachRowWavefront invokes fn once per contiguous innermost row,
+// scheduling rows so that every dependency of a row (all rows whose
+// leading coordinates are component-wise ≤) has completed before the row
+// runs. Rows whose leading coordinates sum to t form diagonal group t;
+// groups run in order, rows within a group run in parallel. 1-D data is a
+// single row; 2-D data degrades to one row per group (serial), which is
+// correct — each 2-D row depends on the whole previous row.
+func forEachRowWavefront(plan *lorenzoPlan, workers int, fn func(base, rowLen int, mask uint32)) {
+	nd := len(plan.dims)
+	if nd == 1 {
+		fn(0, plan.dims[0], 0)
+		return
+	}
+	lead := plan.dims[:nd-1]
+	rowLen := plan.dims[nd-1]
+	maxSum := 0
+	for _, d := range lead {
+		maxSum += d - 1
+	}
+	// suffix[d] = max coordinate sum achievable from dims d+1.. of lead
+	suffix := make([]int, len(lead)+1)
+	for d := len(lead) - 1; d >= 0; d-- {
+		suffix[d] = suffix[d+1] + lead[d] - 1
+	}
+	rows := make([]rowRef, 0, 64)
+	for t := 0; t <= maxSum; t++ {
+		rows = rows[:0]
+		// enumerate leading coordinate tuples with sum t
+		var rec func(d, rem, base int, mask uint32)
+		rec = func(d, rem, base int, mask uint32) {
+			if d == len(lead) {
+				if rem == 0 {
+					rows = append(rows, rowRef{base: base, mask: mask})
+				}
+				return
+			}
+			lo := rem - suffix[d+1]
+			if lo < 0 {
+				lo = 0
+			}
+			hi := lead[d] - 1
+			if hi > rem {
+				hi = rem
+			}
+			for c := lo; c <= hi; c++ {
+				m := mask
+				if c >= 1 {
+					m |= 1 << d
+				}
+				rec(d+1, rem-c, base+c*plan.str[d], m)
+			}
+		}
+		rec(0, t, 0, 0)
+		if len(rows) == 1 {
+			fn(rows[0].base, rowLen, rows[0].mask)
+			continue
+		}
+		rs := rows
+		parallel.ForTasks(workers, len(rs), func(i int) {
+			fn(rs[i].base, rowLen, rs[i].mask)
+		})
+	}
 }
 
 // interpOrder returns the traversal order of the multi-level linear
@@ -205,25 +536,132 @@ func interpOrder(n int) []int {
 	return order
 }
 
+// interpLevels invokes fn for each refinement level from coarse to fine
+// with the level's stride and the traversal position of its first
+// element. Within a level, element k sits at index s+2*s*k and traversal
+// position pos0+k; its bracketing neighbours are multiples of 2*s, which
+// earlier levels have already reconstructed — so levels parallelize.
+func interpLevels(n int, fn func(s, pos0, count int)) {
+	if n <= 1 {
+		return
+	}
+	maxStride := 1
+	for maxStride*2 < n {
+		maxStride *= 2
+	}
+	pos := 1 // order[0] == 0 precedes all levels
+	for s := maxStride; s >= 1; s /= 2 {
+		count := (n - s + 2*s - 1) / (2 * s)
+		fn(s, pos, count)
+		pos += count
+	}
+}
+
 // PredictQuantizeInterp runs the multi-level linear interpolation
 // predictor + quantizer over vals flattened to 1-D. Codes and outliers are
 // in traversal order.
 func PredictQuantizeInterp(vals []float64, q *Quantizer) (codes []int32, outliers []float64, recon []float64) {
-	n := len(vals)
-	codes = make([]int32, 0, n)
-	recon = make([]float64, n)
-	done := make([]bool, n)
-	for _, i := range interpOrder(n) {
-		pred := interpPredict(recon, done, i, n)
-		code, r := q.Quantize(vals[i], pred)
-		codes = append(codes, code)
-		recon[i] = r
-		done[i] = true
-		if code == OutlierCode {
-			outliers = append(outliers, r)
-		}
-	}
+	return PredictQuantizeInterpN(vals, q, 0)
+}
+
+// PredictQuantizeInterpN is PredictQuantizeInterp with an explicit worker
+// cap (0 = all cores). Output is identical for every worker count.
+func PredictQuantizeInterpN(vals []float64, q *Quantizer, workers int) (codes []int32, outliers []float64, recon []float64) {
+	codes = make([]int32, len(vals))
+	recon = make([]float64, len(vals))
+	outliers = predictQuantizeInterpInto(codes, recon, vals, q, workers)
 	return codes, outliers, recon
+}
+
+// predictQuantizeInterpInto runs the interpolation stage into
+// caller-provided codes and recon buffers (len(vals) each, fully
+// overwritten).
+func predictQuantizeInterpInto(codes []int32, recon []float64, vals []float64, q *Quantizer, workers int) (outliers []float64) {
+	n := len(vals)
+	if n == 0 {
+		return nil
+	}
+	kind := castKindOf(q.Cast)
+	step := 2 * q.Abs
+	abs := q.Abs
+	half := float64(q.Bins / 2)
+	f32 := kind == castF32
+	generic := kind == castGeneric
+	var outlierCount int64
+
+	quantizeAt := func(i, pos int, pred float64) int {
+		if generic {
+			code, r := q.Quantize(vals[i], pred)
+			codes[pos] = code
+			recon[i] = r
+			if code == OutlierCode {
+				return 1
+			}
+			return 0
+		}
+		v := vals[i]
+		c := math.Round((v - pred) / step)
+		if c < half && c > -half {
+			cand := pred + c*step
+			if f32 {
+				cand = float64(float32(cand))
+			}
+			ad := cand - v
+			if ad < 0 {
+				ad = -ad
+			}
+			if ad <= abs {
+				codes[pos] = int32(c)
+				recon[i] = cand
+				return 0
+			}
+		}
+		cand := v
+		if f32 {
+			cand = float64(float32(cand))
+		}
+		codes[pos] = OutlierCode
+		recon[i] = cand
+		return 1
+	}
+
+	outlierCount += int64(quantizeAt(0, 0, 0))
+	interpLevels(n, func(s, pos0, count int) {
+		parallel.For(workers, count, func(lo, hi int) {
+			out := 0
+			for k := lo; k < hi; k++ {
+				i := s + 2*s*k
+				left := i - s
+				right := i + s
+				var pred float64
+				if right < n {
+					pred = (recon[left] + recon[right]) / 2
+				} else {
+					pred = recon[left]
+				}
+				out += quantizeAt(i, pos0+k, pred)
+			}
+			if out != 0 {
+				atomic.AddInt64(&outlierCount, int64(out))
+			}
+		})
+	})
+	if outlierCount > 0 {
+		outliers = make([]float64, 0, outlierCount)
+		// gather in traversal order: level layout maps code position to
+		// element index directly
+		if codes[0] == OutlierCode {
+			outliers = append(outliers, recon[0])
+		}
+		interpLevels(n, func(s, pos0, count int) {
+			for k := 0; k < count; k++ {
+				if codes[pos0+k] == OutlierCode {
+					outliers = append(outliers, recon[s+2*s*k])
+				}
+			}
+		})
+	}
+	return outliers
 }
 
 // interpPredict predicts element i from its already-reconstructed
@@ -245,18 +683,70 @@ func interpPredict(recon []float64, done []bool, i, n int) float64 {
 
 // ReconstructInterp inverts PredictQuantizeInterp.
 func ReconstructInterp(codes []int32, outliers []float64, n int, q *Quantizer) []float64 {
+	return ReconstructInterpN(codes, outliers, n, q, 0)
+}
+
+// ReconstructInterpN is ReconstructInterp with an explicit worker cap.
+func ReconstructInterpN(codes []int32, outliers []float64, n int, q *Quantizer, workers int) []float64 {
 	recon := make([]float64, n)
-	done := make([]bool, n)
-	oi := 0
-	for k, i := range interpOrder(n) {
-		pred := interpPredict(recon, done, i, n)
-		if codes[k] == OutlierCode {
-			recon[i] = q.Cast(outliers[oi])
-			oi++
-		} else {
-			recon[i] = q.Reconstruct(codes[k], pred)
-		}
-		done[i] = true
+	if n == 0 {
+		return recon
 	}
+	kind := castKindOf(q.Cast)
+	step := 2 * q.Abs
+	f32 := kind == castF32
+	generic := kind == castGeneric
+
+	// map each traversal position to its outlier-stream offset up front,
+	// so levels can run in parallel even with outliers present
+	var ois []int32
+	if len(outliers) > 0 {
+		ois = make([]int32, len(codes))
+		run := int32(0)
+		for p, c := range codes {
+			ois[p] = run
+			if c == OutlierCode {
+				run++
+			}
+		}
+	}
+	reconAt := func(i, pos int, pred float64) {
+		if codes[pos] == OutlierCode {
+			v := outliers[ois[pos]]
+			switch {
+			case f32:
+				v = float64(float32(v))
+			case generic:
+				v = q.Cast(v)
+			}
+			recon[i] = v
+			return
+		}
+		r := pred + float64(codes[pos])*step
+		switch {
+		case f32:
+			r = float64(float32(r))
+		case generic:
+			r = q.Cast(r)
+		}
+		recon[i] = r
+	}
+	reconAt(0, 0, 0)
+	interpLevels(n, func(s, pos0, count int) {
+		parallel.For(workers, count, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := s + 2*s*k
+				left := i - s
+				right := i + s
+				var pred float64
+				if right < n {
+					pred = (recon[left] + recon[right]) / 2
+				} else {
+					pred = recon[left]
+				}
+				reconAt(i, pos0+k, pred)
+			}
+		})
+	})
 	return recon
 }

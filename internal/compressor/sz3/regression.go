@@ -2,6 +2,8 @@ package sz3
 
 import (
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Block-regression prediction, the hallmark predictor of SZ2 (which the
@@ -124,36 +126,119 @@ func regressionBlocks(dims []int, f func(origin, size []int)) {
 	}
 }
 
+// regBlock is one tile of the regression decomposition with its code
+// stream offset precomputed, so blocks can be processed in any order
+// while codes land at exactly the positions the serial traversal used.
+type regBlock struct {
+	origin [3]int
+	size   [3]int
+	start  int // offset of the block's first code in the code stream
+	vol    int // number of elements in the block
+}
+
+// regressionBlockList materializes the block traversal with per-block
+// code offsets. Blocks are fully independent (prediction reads original
+// values, not reconstructions), so the list is the unit of parallelism.
+func regressionBlockList(dims []int) []regBlock {
+	var blocks []regBlock
+	run := 0
+	regressionBlocks(dims, func(origin, size []int) {
+		var b regBlock
+		vol := 1
+		for d := range origin {
+			b.origin[d] = origin[d]
+			b.size[d] = size[d]
+			vol *= size[d]
+		}
+		b.start = run
+		b.vol = vol
+		run += vol
+		blocks = append(blocks, b)
+	})
+	return blocks
+}
+
 // PredictQuantizeRegression runs the block-regression predictor +
 // quantizer. The returned coefficient list has one entry per block in
 // traversal order; codes and outliers follow the same order.
 func PredictQuantizeRegression(vals []float64, dims []int, q *Quantizer) (codes []int32, outliers []float64, coeffs []float64) {
+	return PredictQuantizeRegressionN(vals, dims, q, 0)
+}
+
+// PredictQuantizeRegressionN is PredictQuantizeRegression with an
+// explicit worker cap (0 = all cores). Output is identical for every
+// worker count: blocks are independent, codes write to precomputed
+// offsets, and outliers are concatenated in block order afterwards.
+func PredictQuantizeRegressionN(vals []float64, dims []int, q *Quantizer, workers int) (codes []int32, outliers []float64, coeffs []float64) {
+	codes = make([]int32, len(vals))
+	outliers, coeffs = predictQuantizeRegressionInto(codes, vals, dims, q, workers)
+	return codes, outliers, coeffs
+}
+
+// predictQuantizeRegressionInto runs the regression stage into a
+// caller-provided codes buffer (len(vals), fully overwritten).
+func predictQuantizeRegressionInto(codes []int32, vals []float64, dims []int, q *Quantizer, workers int) (outliers []float64, coeffs []float64) {
 	if len(dims) > 3 {
 		dims = flattenTo3(dims)
 	}
 	nd := len(dims)
 	str := stridesOf(dims)
-	codes = make([]int32, 0, len(vals))
-	regressionBlocks(dims, func(origin, size []int) {
-		co := fitBlock(vals, dims, str, origin, size)
-		for d := 0; d <= nd; d++ {
-			coeffs = append(coeffs, co.c[d])
-		}
-		forEachInBlock(dims, str, origin, size, func(idx int, local []int) {
-			pred := co.predictAt(local, size, nd)
-			code, r := q.Quantize(vals[idx], pred)
-			codes = append(codes, code)
-			if code == OutlierCode {
-				outliers = append(outliers, r)
+	blocks := regressionBlockList(dims)
+	coeffs = make([]float64, len(blocks)*(nd+1))
+	blockOutliers := make([][]float64, len(blocks))
+	parallel.ForTasks(workers, len(blocks), func(b int) {
+		bl := &blocks[b]
+		co := fitBlock(vals, dims, str, bl.origin[:nd], bl.size[:nd])
+		copy(coeffs[b*(nd+1):], co.c[:nd+1])
+		var out []float64
+		var local [3]int
+		k := bl.start
+		for {
+			idx := 0
+			for d := 0; d < nd; d++ {
+				idx += (bl.origin[d] + local[d]) * str[d]
 			}
-		})
+			pred := co.c[0]
+			for d := 0; d < nd; d++ {
+				pred += co.c[d+1] * (float64(local[d]) - float64(bl.size[d]-1)/2)
+			}
+			code, r := q.Quantize(vals[idx], pred)
+			codes[k] = code
+			k++
+			if code == OutlierCode {
+				out = append(out, r)
+			}
+			d := nd - 1
+			for ; d >= 0; d-- {
+				local[d]++
+				if local[d] < bl.size[d] {
+					break
+				}
+				local[d] = 0
+			}
+			if d < 0 {
+				break
+			}
+		}
+		if len(out) > 0 {
+			blockOutliers[b] = out
+		}
 	})
-	return codes, outliers, coeffs
+	for _, out := range blockOutliers {
+		outliers = append(outliers, out...)
+	}
+	return outliers, coeffs
 }
 
 // ReconstructRegression inverts PredictQuantizeRegression into a flat
 // value slice.
 func ReconstructRegression(codes []int32, outliers, coeffs []float64, dims []int, q *Quantizer) ([]float64, error) {
+	return ReconstructRegressionN(codes, outliers, coeffs, dims, q, 0)
+}
+
+// ReconstructRegressionN is ReconstructRegression with an explicit
+// worker cap.
+func ReconstructRegressionN(codes []int32, outliers, coeffs []float64, dims []int, q *Quantizer, workers int) ([]float64, error) {
 	if len(dims) > 3 {
 		dims = flattenTo3(dims)
 	}
@@ -163,52 +248,64 @@ func ReconstructRegression(codes []int32, outliers, coeffs []float64, dims []int
 	for _, d := range dims {
 		total *= d
 	}
-	out := make([]float64, total)
-	ci := 0
-	ki := 0
-	oi := 0
-	var err error
-	regressionBlocks(dims, func(origin, size []int) {
-		if err != nil {
-			return
-		}
-		if ci+nd+1 > len(coeffs) {
-			err = ErrCorrupt
-			return
-		}
-		var co regCoeffs
-		for d := 0; d <= nd; d++ {
-			co.c[d] = coeffs[ci]
-			ci++
-		}
-		forEachInBlock(dims, str, origin, size, func(idx int, local []int) {
-			if err != nil {
-				return
-			}
-			if ki >= len(codes) {
-				err = ErrCorrupt
-				return
-			}
-			code := codes[ki]
-			ki++
-			if code == OutlierCode {
-				if oi >= len(outliers) {
-					err = ErrCorrupt
-					return
-				}
-				out[idx] = q.Cast(outliers[oi])
-				oi++
-				return
-			}
-			out[idx] = q.Reconstruct(code, co.predictAt(local, size, nd))
-		})
-	})
-	if err != nil {
-		return nil, err
-	}
-	if ki != len(codes) {
+	blocks := regressionBlockList(dims)
+	if len(codes) != total || len(coeffs) < len(blocks)*(nd+1) {
 		return nil, ErrCorrupt
 	}
+	// blocks consume the outlier stream in code order: precompute each
+	// block's starting offset
+	run := 0
+	blockOi := make([]int, len(blocks))
+	for b := range blocks {
+		blockOi[b] = run
+		lo := blocks[b].start
+		for _, c := range codes[lo : lo+blocks[b].vol] {
+			if c == OutlierCode {
+				run++
+			}
+		}
+	}
+	if run > len(outliers) {
+		return nil, ErrCorrupt
+	}
+	out := make([]float64, total)
+	parallel.ForTasks(workers, len(blocks), func(b int) {
+		bl := &blocks[b]
+		var co regCoeffs
+		copy(co.c[:nd+1], coeffs[b*(nd+1):])
+		var local [3]int
+		k := bl.start
+		oi := blockOi[b]
+		for {
+			idx := 0
+			for d := 0; d < nd; d++ {
+				idx += (bl.origin[d] + local[d]) * str[d]
+			}
+			code := codes[k]
+			k++
+			if code == OutlierCode {
+				out[idx] = q.Cast(outliers[oi])
+				oi++
+			} else {
+				pred := co.c[0]
+				for d := 0; d < nd; d++ {
+					pred += co.c[d+1] * (float64(local[d]) - float64(bl.size[d]-1)/2)
+				}
+				out[idx] = q.Reconstruct(code, pred)
+			}
+			d := nd - 1
+			for ; d >= 0; d-- {
+				local[d]++
+				if local[d] < bl.size[d] {
+					break
+				}
+				local[d] = 0
+			}
+			if d < 0 {
+				break
+			}
+		}
+	})
 	return out, nil
 }
 

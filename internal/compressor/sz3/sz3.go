@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/huffman"
 	"repro/internal/pressio"
@@ -40,6 +41,43 @@ type Compressor struct {
 	abs       float64
 	bins      int
 	predictor string
+	threads   int // worker cap for the parallel kernels; 0 = all cores
+}
+
+// kernel scratch pools: the codes and recon working buffers are sized by
+// the input and fully overwritten by the prediction stage, so they recycle
+// across compressions. sync.Pool hands each in-flight compression an
+// exclusive buffer (the -race concurrency test pins this).
+var (
+	codesPool = sync.Pool{New: func() any { return []int32(nil) }}
+	f64Pool   = sync.Pool{New: func() any { return []float64(nil) }}
+)
+
+// flatePool recycles DEFLATE writers: flate.NewWriter allocates and zeroes
+// roughly a megabyte of match-finder state, which Reset reuses without
+// changing the produced bytes.
+var flatePool = sync.Pool{New: func() any {
+	fw, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+	if err != nil {
+		panic(err) // DefaultCompression is always a valid level
+	}
+	return fw
+}}
+
+func getCodesBuf(n int) []int32 {
+	b := codesPool.Get().([]int32)
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+func getF64Buf(n int) []float64 {
+	b := f64Pool.Get().([]float64)
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
 }
 
 // New returns an sz3 compressor with default settings (abs=1e-4,
@@ -75,6 +113,12 @@ func (c *Compressor) SetOptions(opts pressio.Options) error {
 		}
 		c.predictor = v
 	}
+	if v, ok := opts.GetInt(pressio.OptNThreads); ok {
+		if v < 0 {
+			return fmt.Errorf("sz3: %s must be non-negative, got %d", pressio.OptNThreads, v)
+		}
+		c.threads = int(v)
+	}
 	return nil
 }
 
@@ -84,6 +128,7 @@ func (c *Compressor) Options() pressio.Options {
 	o.Set(pressio.OptAbs, c.abs)
 	o.Set(OptQuantBins, int64(c.bins))
 	o.Set(OptPredictor, c.predictor)
+	o.Set(pressio.OptNThreads, int64(c.threads))
 	return o
 }
 
@@ -115,8 +160,9 @@ func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
 	vals := stats.ToFloat64(in)
 	q := &Quantizer{Abs: c.abs, Bins: c.bins, Cast: cast}
 
+	codes := getCodesBuf(len(vals))
+	defer codesPool.Put(codes)
 	var (
-		codes    []int32
 		outliers []float64
 		coeffs   []float64
 		mode     byte
@@ -124,16 +170,20 @@ func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
 	switch c.predictor {
 	case "interp":
 		mode = modeInterp
-		codes, outliers, _ = PredictQuantizeInterp(vals, q)
+		recon := getF64Buf(len(vals))
+		outliers = predictQuantizeInterpInto(codes, recon, vals, q, c.threads)
+		f64Pool.Put(recon)
 	case "regression":
 		mode = modeRegression
-		codes, outliers, coeffs = PredictQuantizeRegression(vals, in.Dims(), q)
+		outliers, coeffs = predictQuantizeRegressionInto(codes, vals, in.Dims(), q, c.threads)
 	default:
 		mode = modeLorenzo
-		codes, outliers, _ = PredictQuantizeLorenzo(vals, in.Dims(), q)
+		recon := getF64Buf(len(vals))
+		outliers = predictQuantizeLorenzoInto(codes, recon, vals, in.Dims(), q, c.threads)
+		f64Pool.Put(recon)
 	}
 
-	coded, err := huffman.Encode(codes)
+	coded, err := huffman.EncodeWorkers(codes, c.threads)
 	if err != nil {
 		return nil, err
 	}
@@ -162,10 +212,10 @@ func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
 	// body: huffman stream, then outliers, then regression coefficients
 	// (float32), DEFLATE-compressed together
 	var body bytes.Buffer
-	fw, err := flate.NewWriter(&body, flate.DefaultCompression)
-	if err != nil {
-		return nil, err
-	}
+	body.Grow(len(coded)/2 + 64)
+	fw := flatePool.Get().(*flate.Writer)
+	defer flatePool.Put(fw)
+	fw.Reset(&body)
 	if _, err := fw.Write(coded); err != nil {
 		return nil, err
 	}
@@ -287,19 +337,17 @@ func (c *Compressor) Decompress(compressed *pressio.Data, out *pressio.Data) err
 	var recon []float64
 	switch mode {
 	case modeInterp:
-		recon = ReconstructInterp(codes, outliers, total, q)
+		recon = ReconstructInterpN(codes, outliers, total, q, c.threads)
 	case modeRegression:
-		recon, err = ReconstructRegression(codes, outliers, coeffs, dims, q)
+		recon, err = ReconstructRegressionN(codes, outliers, coeffs, dims, q, c.threads)
 		if err != nil {
 			return err
 		}
 	case modeLorenzo:
-		recon = ReconstructLorenzo(codes, outliers, dims, q)
+		recon = ReconstructLorenzoN(codes, outliers, dims, q, c.threads)
 	default:
 		return ErrCorrupt
 	}
-	for i, v := range recon {
-		out.Set(i, v)
-	}
+	out.FillFloat64(recon)
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/pressio"
 	"repro/internal/stats"
 )
@@ -32,6 +33,7 @@ var ErrCorrupt = errors.New("szx: corrupt stream")
 type Compressor struct {
 	abs       float64
 	blockSize int
+	threads   int // worker cap for the parallel block passes; 0 = all cores
 }
 
 // New returns an szx compressor with defaults (abs=1e-4, 128-sample blocks).
@@ -58,6 +60,12 @@ func (c *Compressor) SetOptions(opts pressio.Options) error {
 		}
 		c.blockSize = int(v)
 	}
+	if v, ok := opts.GetInt(pressio.OptNThreads); ok {
+		if v < 0 {
+			return fmt.Errorf("szx: %s must be non-negative, got %d", pressio.OptNThreads, v)
+		}
+		c.threads = int(v)
+	}
 	return nil
 }
 
@@ -66,6 +74,7 @@ func (c *Compressor) Options() pressio.Options {
 	o := pressio.Options{}
 	o.Set(pressio.OptAbs, c.abs)
 	o.Set(OptBlockSize, int64(c.blockSize))
+	o.Set(pressio.OptNThreads, int64(c.threads))
 	return o
 }
 
@@ -98,10 +107,17 @@ func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
 		out = binary.LittleEndian.AppendUint64(out, uint64(d))
 	}
 
-	// per-block flags, then per-block payloads
-	flags := make([]byte, (nblocks+7)/8)
-	var payload []byte
-	for b := 0; b < nblocks; b++ {
+	// Pass 1 (parallel): classify each block and compute its constant
+	// representative. Flags land in a per-block bool slice so workers
+	// never share a byte; the bitset packs serially afterwards.
+	isConst := make([]bool, nblocks)
+	mids := make([]float64, nblocks)
+	elem := 8
+	if in.DType() == pressio.DTypeFloat32 {
+		elem = 4
+	}
+	dtype := in.DType()
+	parallel.ForTasks(c.threads, nblocks, func(b int) {
 		lo := b * c.blockSize
 		hi := lo + c.blockSize
 		if hi > n {
@@ -117,19 +133,50 @@ func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
 			}
 		}
 		mid := mn + (mx-mn)/2
-		if mx-mn <= 2*c.abs && withinStorage(mid, mn, mx, c.abs, in.DType()) {
+		if mx-mn <= 2*c.abs && withinStorage(mid, mn, mx, c.abs, dtype) {
+			isConst[b] = true
+			mids[b] = mid
+		}
+	})
+
+	// payload offsets by prefix sum, then pass 2 (parallel) writes each
+	// block's bytes into its slot — identical bytes to the serial append
+	flags := make([]byte, (nblocks+7)/8)
+	offs := make([]int, nblocks+1)
+	for b := 0; b < nblocks; b++ {
+		size := 8
+		if !isConst[b] {
+			lo := b * c.blockSize
+			hi := lo + c.blockSize
+			if hi > n {
+				hi = n
+			}
+			size = (hi - lo) * elem
+		} else {
 			flags[b/8] |= 1 << (b % 8)
-			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(mid))
-		} else if in.DType() == pressio.DTypeFloat32 {
-			for _, v := range vals[lo:hi] {
-				payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(float32(v)))
+		}
+		offs[b+1] = offs[b] + size
+	}
+	payload := make([]byte, offs[nblocks])
+	parallel.ForTasks(c.threads, nblocks, func(b int) {
+		lo := b * c.blockSize
+		hi := lo + c.blockSize
+		if hi > n {
+			hi = n
+		}
+		p := payload[offs[b]:offs[b+1]]
+		if isConst[b] {
+			binary.LittleEndian.PutUint64(p, math.Float64bits(mids[b]))
+		} else if elem == 4 {
+			for i, v := range vals[lo:hi] {
+				binary.LittleEndian.PutUint32(p[4*i:], math.Float32bits(float32(v)))
 			}
 		} else {
-			for _, v := range vals[lo:hi] {
-				payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v))
+			for i, v := range vals[lo:hi] {
+				binary.LittleEndian.PutUint64(p[8*i:], math.Float64bits(v))
 			}
 		}
-	}
+	})
 	out = append(out, flags...)
 	out = append(out, payload...)
 	return pressio.NewByte(out), nil
@@ -153,6 +200,9 @@ func (c *Compressor) Decompress(compressed *pressio.Data, out *pressio.Data) err
 	buf = buf[4:]
 	dtype := pressio.DType(buf[0])
 	nd := int(buf[1])
+	if dtype != pressio.DTypeFloat32 && dtype != pressio.DTypeFloat64 {
+		return ErrCorrupt
+	}
 	buf = buf[2+8:] // skip abs: not needed to decode
 	blockSize := int(binary.LittleEndian.Uint32(buf))
 	buf = buf[4:]
@@ -186,37 +236,62 @@ func (c *Compressor) Decompress(compressed *pressio.Data, out *pressio.Data) err
 	if dtype == pressio.DTypeFloat32 {
 		elem = 4
 	}
-	pos := 0
+	// offsets from the flag bits (serial prescan), then blocks decode in
+	// parallel into a flat buffer
+	offs := make([]int, nblocks+1)
 	for b := 0; b < nblocks; b++ {
 		lo := b * blockSize
 		hi := lo + blockSize
 		if hi > total {
 			hi = total
 		}
+		size := 8
+		if flags[b/8]&(1<<(b%8)) == 0 {
+			size = (hi - lo) * elem
+		}
+		offs[b+1] = offs[b] + size
+	}
+	if offs[nblocks] > len(payload) {
+		return ErrCorrupt
+	}
+	// decode straight into the typed output storage (verbatim blocks are
+	// a byte-level copy of the payload), with one version bump at the end
+	var dst32 []float32
+	var dst64 []float64
+	if dtype == pressio.DTypeFloat32 {
+		dst32 = out.Float32()
+	} else {
+		dst64 = out.Float64()
+	}
+	parallel.ForTasks(c.threads, nblocks, func(b int) {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > total {
+			hi = total
+		}
+		p := payload[offs[b]:]
 		if flags[b/8]&(1<<(b%8)) != 0 {
-			if pos+8 > len(payload) {
-				return ErrCorrupt
-			}
-			v := math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
-			pos += 8
-			for i := lo; i < hi; i++ {
-				out.Set(i, v)
-			}
-		} else {
-			need := (hi - lo) * elem
-			if pos+need > len(payload) {
-				return ErrCorrupt
-			}
-			for i := lo; i < hi; i++ {
-				if elem == 4 {
-					out.Set(i, float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[pos:]))))
-					pos += 4
-				} else {
-					out.Set(i, math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:])))
-					pos += 8
+			v := math.Float64frombits(binary.LittleEndian.Uint64(p))
+			if dst32 != nil {
+				f := float32(v)
+				for i := lo; i < hi; i++ {
+					dst32[i] = f
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					dst64[i] = v
 				}
 			}
+		} else if elem == 4 {
+			for i := lo; i < hi; i++ {
+				dst32[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*(i-lo):]))
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				dst64[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*(i-lo):]))
+			}
 		}
-	}
+	})
+	out.Touch()
 	return nil
 }

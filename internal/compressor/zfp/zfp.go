@@ -22,8 +22,10 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"repro/internal/bitstream"
+	"repro/internal/parallel"
 	"repro/internal/pressio"
 	"repro/internal/stats"
 )
@@ -45,7 +47,8 @@ var ErrCorrupt = errors.New("zfp: corrupt stream")
 
 // Compressor is the zfp plugin. Use New.
 type Compressor struct {
-	tol float64
+	tol     float64
+	threads int // worker cap for the parallel block coder; 0 = all cores
 }
 
 // New returns a zfp compressor with the default tolerance 1e-4.
@@ -58,13 +61,20 @@ func init() {
 // Name implements pressio.Compressor.
 func (c *Compressor) Name() string { return "zfp" }
 
-// SetOptions implements pressio.Compressor; it honours pressio:abs.
+// SetOptions implements pressio.Compressor; it honours pressio:abs and
+// pressio:nthreads.
 func (c *Compressor) SetOptions(opts pressio.Options) error {
 	if v, ok := opts.GetFloat(pressio.OptAbs); ok {
 		if v <= 0 {
 			return fmt.Errorf("zfp: %s must be positive, got %v", pressio.OptAbs, v)
 		}
 		c.tol = v
+	}
+	if v, ok := opts.GetInt(pressio.OptNThreads); ok {
+		if v < 0 {
+			return fmt.Errorf("zfp: %s must be non-negative, got %d", pressio.OptNThreads, v)
+		}
+		c.threads = int(v)
 	}
 	return nil
 }
@@ -73,6 +83,7 @@ func (c *Compressor) SetOptions(opts pressio.Options) error {
 func (c *Compressor) Options() pressio.Options {
 	o := pressio.Options{}
 	o.Set(pressio.OptAbs, c.tol)
+	o.Set(pressio.OptNThreads, int64(c.threads))
 	return o
 }
 
@@ -287,24 +298,25 @@ func encodePlanes(w *bitstream.Writer, u []uint64, kmin int) {
 		// verbatim bits for the tested prefix
 		w.WriteBits(x&lowMask(n), uint(n))
 		x >>= uint(n)
-		// group-tested unary coding for the rest
+		// group-tested unary coding for the rest; runs of zeros batch
+		// into single WriteBits calls (same bits as the bit-at-a-time
+		// loop: group flag, the zeros, then the terminating one — which
+		// is implicit when the run reaches the last position)
 		for n < size {
 			if x == 0 {
 				w.WriteBit(0)
 				break
 			}
 			w.WriteBit(1)
-			for n < size-1 {
-				bit := x & 1
-				w.WriteBit(bit)
-				if bit != 0 {
-					break
-				}
-				x >>= 1
-				n++
+			z := bits.TrailingZeros64(x)
+			if rem := size - 1 - n; z >= rem {
+				w.WriteBits(0, uint(rem))
+				n = size
+				break
 			}
-			x >>= 1
-			n++
+			w.WriteBits(1, uint(z)+1)
+			x >>= uint(z) + 1
+			n += z + 1
 		}
 	}
 }
@@ -327,22 +339,18 @@ func decodePlanes(r *bitstream.Reader, u []uint64, kmin int) error {
 			if group == 0 {
 				break
 			}
-			for n < size-1 {
-				bit, err := r.ReadBit()
-				if err != nil {
-					return err
-				}
-				if bit != 0 {
-					break
-				}
-				n++
+			z, err := r.ReadZeroRun(size - 1 - n)
+			if err != nil {
+				return err
 			}
+			n += z
 			x |= uint64(1) << uint(n)
 			n++
 		}
-		for i := 0; x != 0; i++ {
-			u[i] |= (x & 1) << uint(k)
-			x >>= 1
+		for x != 0 {
+			i := bits.TrailingZeros64(x)
+			u[i] |= uint64(1) << uint(k)
+			x &= x - 1
 		}
 	}
 	return nil
@@ -389,18 +397,79 @@ func (c *Compressor) Compress(in *pressio.Data) (*pressio.Data, error) {
 		out = binary.LittleEndian.AppendUint64(out, uint64(d))
 	}
 
-	var w bitstream.Writer
-	sc := newScratch(nd)
-	sc.setDims(dims)
-	forEachBlock(dims, func(origin []int) {
-		sc.gather(vals, dims, origin)
-		encodeBlockF(&w, sc, nd, c.tol)
+	// Blocks are fully independent, so chunks of the block list encode
+	// concurrently into separate writers that are bit-spliced in block
+	// order afterwards — the spliced stream is identical to serial
+	// encoding for any worker count (DESIGN.md §10).
+	origins := blockOrigins(dims)
+	nchunks := parallel.Resolve(c.threads)
+	if max := (len(origins) + minBlocksPerChunk - 1) / minBlocksPerChunk; nchunks > max {
+		nchunks = max
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	chunkWriters := make([]*bitstream.Writer, nchunks)
+	per := (len(origins) + nchunks - 1) / nchunks
+	parallel.ForTasks(c.threads, nchunks, func(ci int) {
+		lo := ci * per
+		hi := lo + per
+		if hi > len(origins) {
+			hi = len(origins)
+		}
+		w := bitstream.GetWriter()
+		sc := getScratch(nd)
+		sc.setDims(dims)
+		for _, origin := range origins[lo:hi] {
+			sc.gather(vals, dims, origin[:nd])
+			encodeBlockF(w, sc, nd, c.tol)
+		}
+		putScratch(sc)
+		chunkWriters[ci] = w
 	})
+	var w bitstream.Writer
+	for _, cw := range chunkWriters {
+		w.AppendWriter(cw)
+		bitstream.PutWriter(cw)
+	}
 	payload := w.Bytes()
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
 	out = append(out, payload...)
 	return pressio.NewByte(out), nil
 }
+
+// minBlocksPerChunk keeps parallel chunks coarse enough that writer
+// splicing and scratch churn stay negligible.
+const minBlocksPerChunk = 32
+
+// blockOrigins materializes the block traversal of forEachBlock so it can
+// be partitioned across workers.
+func blockOrigins(dims []int) [][3]int {
+	nd := len(dims)
+	n := 1
+	for _, d := range dims {
+		n *= (d + blockLen - 1) / blockLen
+	}
+	origins := make([][3]int, 0, n)
+	forEachBlock(dims, func(origin []int) {
+		var o [3]int
+		copy(o[:], origin[:nd])
+		origins = append(origins, o)
+	})
+	return origins
+}
+
+// scratchPools recycles per-worker block scratch, indexed by nd.
+var scratchPools [4]sync.Pool
+
+func getScratch(nd int) *scratch {
+	if sc, ok := scratchPools[nd].Get().(*scratch); ok {
+		return sc
+	}
+	return newScratch(nd)
+}
+
+func putScratch(sc *scratch) { scratchPools[len(sc.str)].Put(sc) }
 
 // scratch holds the per-block working buffers so the block loop does not
 // allocate; one scratch serves one (de)compression pass.
@@ -410,6 +479,7 @@ type scratch struct {
 	u      []uint64
 	locals [][]int // per block position, local coordinates (nd entries)
 	str    []int   // element strides of the data dims, set by setDims
+	offs   []int   // flat offset of each block position for interior blocks
 }
 
 func newScratch(nd int) *scratch {
@@ -433,21 +503,50 @@ func newScratch(nd int) *scratch {
 		u:      make([]uint64, size),
 		locals: locals,
 		str:    make([]int, nd),
+		offs:   make([]int, size),
 	}
 }
 
-// setDims precomputes the element strides of the data shape.
+// setDims precomputes the element strides of the data shape and the flat
+// offset of every block position, which interior blocks use to skip the
+// per-element coordinate arithmetic.
 func (sc *scratch) setDims(dims []int) {
 	acc := 1
 	for i := len(dims) - 1; i >= 0; i-- {
 		sc.str[i] = acc
 		acc *= dims[i]
 	}
+	for bi, local := range sc.locals {
+		off := 0
+		for d := range local {
+			off += local[d] * sc.str[d]
+		}
+		sc.offs[bi] = off
+	}
+}
+
+// interiorBase returns the flat index of origin and whether the block lies
+// fully inside dims (no edge replication or clipping needed).
+func (sc *scratch) interiorBase(dims, origin []int) (int, bool) {
+	base := 0
+	for d := range origin {
+		if origin[d]+blockLen > dims[d] {
+			return 0, false
+		}
+		base += origin[d] * sc.str[d]
+	}
+	return base, true
 }
 
 // gather extracts the tile at origin into sc.block, replicating edge
 // samples for partial blocks.
 func (sc *scratch) gather(vals []float64, dims []int, origin []int) {
+	if base, ok := sc.interiorBase(dims, origin); ok {
+		for bi, off := range sc.offs {
+			sc.block[bi] = vals[base+off]
+		}
+		return
+	}
 	nd := len(dims)
 	str := sc.str
 	for bi, local := range sc.locals {
@@ -465,6 +564,12 @@ func (sc *scratch) gather(vals []float64, dims []int, origin []int) {
 
 // scatter writes the valid region of sc.block back into out.
 func (sc *scratch) scatter(out []float64, dims []int, origin []int) {
+	if base, ok := sc.interiorBase(dims, origin); ok {
+		for bi, off := range sc.offs {
+			out[base+off] = sc.block[bi]
+		}
+		return
+	}
 	nd := len(dims)
 	str := sc.str
 	for bi, local := range sc.locals {
@@ -610,10 +715,13 @@ func (c *Compressor) Decompress(compressed *pressio.Data, out *pressio.Data) err
 		return fmt.Errorf("zfp: output has %d elements, stream has %d", out.Len(), total)
 	}
 
+	// Decoding is serial: block segments are variable-length and the
+	// stream carries no block index, so a segment's start is only known
+	// once its predecessor is decoded.
 	dims := effectiveDims(origDims)
 	recon := make([]float64, total)
 	r := bitstream.NewReader(buf[:payloadLen])
-	sc := newScratch(len(dims))
+	sc := getScratch(len(dims))
 	sc.setDims(dims)
 	var decodeErr error
 	forEachBlock(dims, func(origin []int) {
@@ -626,11 +734,10 @@ func (c *Compressor) Decompress(compressed *pressio.Data, out *pressio.Data) err
 		}
 		sc.scatter(recon, dims, origin)
 	})
+	putScratch(sc)
 	if decodeErr != nil {
 		return fmt.Errorf("zfp: %w: %v", ErrCorrupt, decodeErr)
 	}
-	for i, v := range recon {
-		out.Set(i, v)
-	}
+	out.FillFloat64(recon)
 	return nil
 }

@@ -7,6 +7,15 @@
 // decoder can rebuild the exact codes without transmitting them; this keeps
 // the header small even for the 2^16-bin quantizer alphabets SZ-style
 // compressors use.
+//
+// The per-element hot paths avoid map operations: the histogram counts
+// into a dense window array (quantizer codes cluster tightly; outlier
+// sentinels overflow into a small map), encoding looks codes up in a dense
+// packed table, and decoding drives a canonical first-code table through a
+// K-bit prefix lookup instead of walking a pointer trie. Payload encoding
+// is chunk-parallel over the shared worker pool: each chunk encodes into a
+// pooled writer and the chunks are bit-spliced in order, so the output is
+// byte-identical to single-threaded encoding.
 package huffman
 
 import (
@@ -15,8 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitstream"
+	"repro/internal/parallel"
 )
 
 // maxCodeLen bounds code lengths; 58 leaves room in the canonical
@@ -73,17 +84,22 @@ func CodeLengths(counts map[int32]uint64) map[int32]uint {
 		symbols = append(symbols, s)
 	}
 	sort.Slice(symbols, func(i, j int) bool { return symbols[i] < symbols[j] })
+	// arena-allocate the tree: n leaves plus n-1 internal nodes, one
+	// allocation instead of one per node
+	arena := make([]huffNode, 0, 2*len(symbols)-1)
 	h := make(nodeHeap, 0, len(symbols))
 	order := 0
 	for _, s := range symbols {
-		h = append(h, &huffNode{weight: counts[s], symbol: s, order: order})
+		arena = append(arena, huffNode{weight: counts[s], symbol: s, order: order})
+		h = append(h, &arena[len(arena)-1])
 		order++
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {
 		a := heap.Pop(&h).(*huffNode)
 		b := heap.Pop(&h).(*huffNode)
-		heap.Push(&h, &huffNode{weight: a.weight + b.weight, left: a, right: b, order: order})
+		arena = append(arena, huffNode{weight: a.weight + b.weight, left: a, right: b, order: order})
+		heap.Push(&h, &arena[len(arena)-1])
 		order++
 	}
 	root := h[0]
@@ -105,29 +121,43 @@ func CodeLengths(counts map[int32]uint64) map[int32]uint {
 }
 
 // canonicalCodes assigns canonical code values from code lengths: codes are
-// ordered by (length, symbol). Returns parallel slices sorted that way.
+// ordered by (length, symbol). Returns parallel slices sorted that way. It
+// rejects length sets that over-subscribe the code space (which is how a
+// corrupt table manifests after the per-length parse checks).
 func canonicalCodes(lengths map[int32]uint) (symbols []int32, lens []uint, codes []uint64, err error) {
-	symbols = make([]int32, 0, len(lengths))
-	for s := range lengths {
-		symbols = append(symbols, s)
+	// sort (length, symbol) pairs directly so the comparator does no map
+	// lookups; lengths fit in the low bits above the symbol
+	type pair struct {
+		s int32
+		l uint
 	}
-	sort.Slice(symbols, func(i, j int) bool {
-		li, lj := lengths[symbols[i]], lengths[symbols[j]]
-		if li != lj {
-			return li < lj
+	pairs := make([]pair, 0, len(lengths))
+	for s, l := range lengths {
+		pairs = append(pairs, pair{s: s, l: l})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].l != pairs[j].l {
+			return pairs[i].l < pairs[j].l
 		}
-		return symbols[i] < symbols[j]
+		return pairs[i].s < pairs[j].s
 	})
+	symbols = make([]int32, len(pairs))
+	for i, p := range pairs {
+		symbols[i] = p.s
+	}
 	lens = make([]uint, len(symbols))
 	codes = make([]uint64, len(symbols))
 	var code uint64
 	var prevLen uint
-	for i, s := range symbols {
-		l := lengths[s]
+	for i, p := range pairs {
+		l := p.l
 		if l > maxCodeLen {
 			return nil, nil, nil, fmt.Errorf("huffman: code length %d exceeds max %d", l, maxCodeLen)
 		}
 		code <<= (l - prevLen)
+		if code >= 1<<l {
+			return nil, nil, nil, fmt.Errorf("huffman: code lengths over-subscribe the code space")
+		}
 		codes[i] = code
 		lens[i] = l
 		code++
@@ -136,14 +166,24 @@ func canonicalCodes(lengths map[int32]uint) (symbols []int32, lens []uint, codes
 	return symbols, lens, codes, nil
 }
 
+// packed dense-table entry: code in the high bits, length in the low 6.
+// Zero means "symbol absent" (length 0 is never a valid code).
+type packedCode = uint64
+
+func packCode(code uint64, length uint) packedCode { return code<<6 | uint64(length) }
+
+// denseTableMax bounds the dense encode table span (2^20 entries = 8 MiB,
+// transient). Symbols beyond the window — sz3's outlier sentinel — go to
+// the overflow map, which stays tiny in practice.
+const denseTableMax = 1 << 20
+
 // Encoder holds a code table built from a histogram.
 type Encoder struct {
-	codes map[int32]struct {
-		code uint64
-		len  uint
-	}
-	symbols []int32
-	lens    []uint
+	base     int32 // first symbol covered by dense
+	dense    []packedCode
+	overflow map[int32]packedCode
+	symbols  []int32
+	lens     []uint
 }
 
 // NewEncoder builds an encoder for the histogram of the symbols to encode.
@@ -153,17 +193,44 @@ func NewEncoder(counts map[int32]uint64) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Encoder{codes: make(map[int32]struct {
-		code uint64
-		len  uint
-	}, len(symbols)), symbols: symbols, lens: lens}
+	e := &Encoder{symbols: symbols, lens: lens, overflow: map[int32]packedCode{}}
+	if len(symbols) > 0 {
+		lo, hi := symbols[0], symbols[0]
+		for _, s := range symbols {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		span := int64(hi) - int64(lo) + 1
+		if span > denseTableMax {
+			span = denseTableMax
+		}
+		e.base = lo
+		e.dense = make([]packedCode, span)
+	}
 	for i, s := range symbols {
-		e.codes[s] = struct {
-			code uint64
-			len  uint
-		}{codes[i], lens[i]}
+		p := packCode(codes[i], lens[i])
+		if idx := int64(s) - int64(e.base); idx >= 0 && idx < int64(len(e.dense)) {
+			e.dense[idx] = p
+		} else {
+			e.overflow[s] = p
+		}
 	}
 	return e, nil
+}
+
+// lookup returns the packed (code, length) entry for s, or ok=false when
+// the symbol has no code.
+func (e *Encoder) lookup(s int32) (packedCode, bool) {
+	if idx := int64(s) - int64(e.base); idx >= 0 && idx < int64(len(e.dense)) {
+		p := e.dense[idx]
+		return p, p != 0
+	}
+	p, ok := e.overflow[s]
+	return p, ok
 }
 
 // EncodedBitLen returns the total payload length in bits for encoding data
@@ -171,18 +238,22 @@ func NewEncoder(counts map[int32]uint64) (*Encoder, error) {
 func (e *Encoder) EncodedBitLen(counts map[int32]uint64) uint64 {
 	var total uint64
 	for s, c := range counts {
-		if entry, ok := e.codes[s]; ok {
-			total += c * uint64(entry.len)
+		if p, ok := e.lookup(s); ok {
+			total += c * (p & 63)
 		}
 	}
 	return total
 }
 
-// Encode serializes the code table and payload for data into one buffer.
+// Encode serializes the code table and payload for data into one buffer,
+// using up to `workers` pool workers for the payload ("0" = all cores).
 //
 // Layout: u32 symbolCount, then per symbol (i32 symbol, u8 length) in
-// canonical order, then u64 payload element count, then the bit stream.
-func (e *Encoder) Encode(data []int32) ([]byte, error) {
+// canonical order, then u64 payload element count, then u64 payload byte
+// length, then the bit stream. The bytes are identical for every worker
+// count: chunk streams are spliced in order, reproducing the serial bit
+// sequence exactly.
+func (e *Encoder) Encode(data []int32, workers int) ([]byte, error) {
 	header := make([]byte, 0, 4+5*len(e.symbols)+8)
 	header = binary.LittleEndian.AppendUint32(header, uint32(len(e.symbols)))
 	for i, s := range e.symbols {
@@ -191,13 +262,48 @@ func (e *Encoder) Encode(data []int32) ([]byte, error) {
 	}
 	header = binary.LittleEndian.AppendUint64(header, uint64(len(data)))
 
-	var w bitstream.Writer
-	for _, s := range data {
-		entry, ok := e.codes[s]
-		if !ok {
-			return nil, fmt.Errorf("huffman: symbol %d not in code table", s)
+	// split the payload into deterministic chunks, one pooled writer each
+	nchunks := parallel.Resolve(workers)
+	if max := (len(data) + 1<<14 - 1) / (1 << 14); nchunks > max {
+		nchunks = max
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	chunk := (len(data) + nchunks - 1) / nchunks
+	writers := make([]*bitstream.Writer, nchunks)
+	errs := make([]error, nchunks)
+	parallel.ForTasks(workers, nchunks, func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > len(data) {
+			hi = len(data)
 		}
-		w.WriteBits(entry.code, entry.len)
+		w := bitstream.GetWriter()
+		writers[ci] = w
+		for _, s := range data[lo:hi] {
+			p, ok := e.lookup(s)
+			if !ok {
+				errs[ci] = fmt.Errorf("huffman: symbol %d not in code table", s)
+				return
+			}
+			w.WriteBits(p>>6, uint(p&63))
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			for _, w := range writers {
+				if w != nil {
+					bitstream.PutWriter(w)
+				}
+			}
+			return nil, err
+		}
+	}
+	var w bitstream.Writer
+	for _, cw := range writers {
+		w.AppendWriter(cw)
+		bitstream.PutWriter(cw)
 	}
 	payload := w.Bytes()
 	out := make([]byte, 0, len(header)+8+len(payload))
@@ -208,12 +314,13 @@ func (e *Encoder) Encode(data []int32) ([]byte, error) {
 }
 
 // Encode is a convenience that histograms data, builds the table, and
-// encodes in one call.
-func Encode(data []int32) ([]byte, error) {
-	counts := make(map[int32]uint64)
-	for _, s := range data {
-		counts[s]++
-	}
+// encodes in one call using the default worker count.
+func Encode(data []int32) ([]byte, error) { return EncodeWorkers(data, 0) }
+
+// EncodeWorkers is Encode with an explicit worker cap (0 = all cores).
+// The output bytes do not depend on the worker count.
+func EncodeWorkers(data []int32, workers int) ([]byte, error) {
+	counts := HistogramInt32(data, workers)
 	if len(counts) == 0 {
 		// empty stream: symbolCount=0, elementCount=0, payloadLen=0
 		out := make([]byte, 0, 20)
@@ -226,15 +333,119 @@ func Encode(data []int32) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Encode(data)
+	return e.Encode(data, workers)
 }
 
-// decodeNode is a binary trie node for decoding.
-type decodeNode struct {
-	children [2]*decodeNode
-	symbol   int32
-	leaf     bool
+// denseHistPool recycles the dense counting window of HistogramInt32.
+var denseHistPool = sync.Pool{New: func() any { return []uint64(nil) }}
+
+// denseHistMax bounds the dense histogram window; symbols outside
+// [min, min+denseHistMax) are counted in a map (the sz3 outlier sentinel
+// and nothing else, in practice).
+const denseHistMax = 1 << 20
+
+// HistogramInt32 counts symbol occurrences using a dense window array for
+// the clustered bulk of the alphabet and a map for far outliers, with the
+// window chosen from the data minimum. Chunks count in parallel and merge.
+func HistogramInt32(data []int32, workers int) map[int32]uint64 {
+	out := make(map[int32]uint64, 256)
+	if len(data) == 0 {
+		return out
+	}
+	lo, hi := data[0], data[0]
+	var mu sync.Mutex
+	parallel.For(workers, len(data), func(clo, chi int) {
+		l, h := data[clo], data[clo]
+		for _, s := range data[clo:chi] {
+			if s < l {
+				l = s
+			}
+			if s > h {
+				h = s
+			}
+		}
+		mu.Lock()
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+		mu.Unlock()
+	})
+	span := int64(hi) - int64(lo) + 1
+	if span > denseHistMax {
+		// the window would hit the cap — typically a far sentinel (the sz3
+		// outlier code) inflating an otherwise tight alphabet. Re-reduce
+		// for the largest symbol below the capped window so the window
+		// covers exactly the clustered bulk and stays small to zero,
+		// merge, and scan; everything above it falls to the map.
+		limit := int64(lo) + denseHistMax
+		h2 := lo
+		parallel.For(workers, len(data), func(clo, chi int) {
+			l2 := lo
+			for _, s := range data[clo:chi] {
+				if int64(s) < limit && s > l2 {
+					l2 = s
+				}
+			}
+			mu.Lock()
+			if l2 > h2 {
+				h2 = l2
+			}
+			mu.Unlock()
+		})
+		span = int64(h2) - int64(lo) + 1
+	}
+	window := denseHistPool.Get().([]uint64)
+	if int64(len(window)) < span {
+		window = make([]uint64, span)
+	}
+	window = window[:span]
+	parallel.For(workers, len(data), func(clo, chi int) {
+		local := denseHistPool.Get().([]uint64)
+		if int64(len(local)) < span {
+			local = make([]uint64, span)
+		}
+		local = local[:span]
+		var far map[int32]uint64
+		for _, s := range data[clo:chi] {
+			if idx := int64(s) - int64(lo); idx < span {
+				local[idx]++
+			} else {
+				if far == nil {
+					far = make(map[int32]uint64, 4)
+				}
+				far[s]++
+			}
+		}
+		mu.Lock()
+		for i, c := range local {
+			if c != 0 {
+				window[i] += c
+				local[i] = 0
+			}
+		}
+		for s, c := range far {
+			out[s] += c
+		}
+		mu.Unlock()
+		denseHistPool.Put(local)
+	})
+	for i, c := range window {
+		if c != 0 {
+			out[lo+int32(i)] = c
+			window[i] = 0
+		}
+	}
+	denseHistPool.Put(window)
+	return out
 }
+
+// decodeLookupBits sizes the decoder's prefix table: codes of at most this
+// length resolve in one table probe (the overwhelming majority for real
+// histograms); longer codes fall back to first-code arithmetic.
+const decodeLookupBits = 12
 
 // Decode parses a buffer produced by Encode and returns the symbol stream.
 func Decode(buf []byte) ([]int32, error) {
@@ -247,7 +458,6 @@ func Decode(buf []byte) ([]int32, error) {
 		return nil, ErrCorrupt
 	}
 	lengths := make(map[int32]uint, nsym)
-	orderedSyms := make([]int32, nsym)
 	for i := 0; i < nsym; i++ {
 		s := int32(binary.LittleEndian.Uint32(buf))
 		l := uint(buf[4])
@@ -259,7 +469,6 @@ func Decode(buf []byte) ([]int32, error) {
 			return nil, ErrCorrupt
 		}
 		lengths[s] = l
-		orderedSyms[i] = s
 	}
 	if len(buf) < 8 {
 		return nil, ErrCorrupt
@@ -283,29 +492,40 @@ func Decode(buf []byte) ([]int32, error) {
 		return nil, ErrCorrupt
 	}
 
-	// Rebuild canonical codes and the decoding trie.
+	// Rebuild canonical codes and the per-length decode tables.
 	symbols, lens, codes, err := canonicalCodes(lengths)
 	if err != nil {
 		return nil, ErrCorrupt
 	}
-	root := &decodeNode{}
-	for i, s := range symbols {
-		n := root
-		for bit := int(lens[i]) - 1; bit >= 0; bit-- {
-			b := (codes[i] >> uint(bit)) & 1
-			if n.leaf {
-				return nil, ErrCorrupt // prefix violation
-			}
-			if n.children[b] == nil {
-				n.children[b] = &decodeNode{}
-			}
-			n = n.children[b]
+	maxLen := lens[len(lens)-1]
+	var firstCode, firstIdx, cnt [maxCodeLen + 2]uint64
+	for i := range symbols {
+		l := lens[i]
+		if cnt[l] == 0 {
+			firstCode[l] = codes[i]
+			firstIdx[l] = uint64(i)
 		}
-		if n.leaf || n.children[0] != nil || n.children[1] != nil {
-			return nil, ErrCorrupt
+		cnt[l]++
+	}
+
+	// K-bit prefix table: entry packs (symbol index << 6 | code length)
+	// for codes no longer than K bits; zero means "longer code".
+	lb := int(maxLen)
+	if lb > decodeLookupBits {
+		lb = decodeLookupBits
+	}
+	table := make([]uint32, 1<<lb)
+	for i := range symbols {
+		l := int(lens[i])
+		if l > lb {
+			break // canonical order: lengths are non-decreasing
 		}
-		n.leaf = true
-		n.symbol = s
+		base := codes[i] << (lb - l)
+		span := uint64(1) << (lb - l)
+		entry := uint32(i)<<6 | uint32(l)
+		for j := uint64(0); j < span; j++ {
+			table[base+j] = entry
+		}
 	}
 
 	// cap the preallocation: count comes from an untrusted header, and
@@ -315,20 +535,52 @@ func Decode(buf []byte) ([]int32, error) {
 		prealloc = maxPre
 	}
 	out := make([]int32, 0, prealloc)
-	r := bitstream.NewReader(payload)
+
+	// manual MSB-first bit buffer: acc holds the next `nbits` of the
+	// stream left-aligned at bit 63
+	var acc uint64
+	var nbits uint
+	pos := 0
 	for uint64(len(out)) < count {
-		n := root
-		for !n.leaf {
-			b, err := r.ReadBit()
-			if err != nil {
+		for nbits <= 56 && pos < len(payload) {
+			acc |= uint64(payload[pos]) << (56 - nbits)
+			nbits += 8
+			pos++
+		}
+		if nbits == 0 {
+			return nil, ErrCorrupt
+		}
+		if entry := table[acc>>(64-uint(lb))]; entry != 0 {
+			l := uint(entry & 63)
+			if l > nbits {
 				return nil, ErrCorrupt
 			}
-			n = n.children[b]
-			if n == nil {
-				return nil, ErrCorrupt
+			out = append(out, symbols[entry>>6])
+			acc <<= l
+			nbits -= l
+			continue
+		}
+		// long code: per-length canonical search above the table width
+		matched := false
+		for l := uint(lb) + 1; l <= maxLen; l++ {
+			if cnt[l] == 0 {
+				continue
+			}
+			if l > nbits {
+				break
+			}
+			code := acc >> (64 - l)
+			if diff := code - firstCode[l]; code >= firstCode[l] && diff < cnt[l] {
+				out = append(out, symbols[firstIdx[l]+diff])
+				acc <<= l
+				nbits -= l
+				matched = true
+				break
 			}
 		}
-		out = append(out, n.symbol)
+		if !matched {
+			return nil, ErrCorrupt
+		}
 	}
 	return out, nil
 }

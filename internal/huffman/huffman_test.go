@@ -178,7 +178,7 @@ func TestEncoderRejectsUnknownSymbol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Encode([]int32{1, 2, 99}); err == nil {
+	if _, err := e.Encode([]int32{1, 2, 99}, 1); err == nil {
 		t.Error("Encode accepted symbol missing from the table")
 	}
 }

@@ -48,18 +48,19 @@ func (*Stat) Configuration() pressio.Options {
 	return invalidate(pressio.InvalidateErrorAgnostic)
 }
 
-// BeginCompress implements pressio.Metric.
+// BeginCompress implements pressio.Metric. All moments come from the
+// fused single-pass summary shared with every other metric observing the
+// same buffer, so a chain of metrics reads the data once.
 func (m *Stat) BeginCompress(in *pressio.Data) {
-	xs := stats.ToFloat64(in)
-	lo, hi := in.Range()
+	s := stats.SummaryOf(in, 0, 0)
 	r := pressio.Options{}
-	r.Set("stat:min", lo)
-	r.Set("stat:max", hi)
-	r.Set("stat:range", hi-lo)
-	r.Set("stat:mean", stats.Mean(xs))
-	r.Set("stat:std", stats.Std(xs))
-	r.Set("stat:sparsity", stats.Sparsity(xs, 0))
-	r.Set("stat:n", int64(len(xs)))
+	r.Set("stat:min", s.Min)
+	r.Set("stat:max", s.Max)
+	r.Set("stat:range", s.Range())
+	r.Set("stat:mean", s.Mean)
+	r.Set("stat:std", s.Std)
+	r.Set("stat:sparsity", s.Sparsity())
+	r.Set("stat:n", int64(s.N))
 	m.results = r
 }
 
@@ -104,13 +105,12 @@ func (m *Entropy) bins() int {
 	return m.Bins
 }
 
-// BeginCompress implements pressio.Metric.
+// BeginCompress implements pressio.Metric. The histogram rides on the
+// shared summary's second sweep instead of a dedicated pass.
 func (m *Entropy) BeginCompress(in *pressio.Data) {
-	xs := stats.ToFloat64(in)
-	lo, hi := in.Range()
-	h := stats.Histogram(xs, lo, hi, m.bins())
+	s := stats.SummaryOf(in, m.bins(), 0)
 	r := pressio.Options{}
-	r.Set("entropy:shannon", stats.EntropyFromCounts(h))
+	r.Set("entropy:shannon", s.Entropy())
 	m.results = r
 }
 
@@ -148,11 +148,12 @@ func (m *QuantizedEntropy) Options() pressio.Options {
 	return o
 }
 
-// BeginCompress implements pressio.Metric.
+// BeginCompress implements pressio.Metric. The quantized histogram is a
+// single sweep over the native element type (no float64 copy), with the
+// key range bounded by the shared summary's min/max.
 func (m *QuantizedEntropy) BeginCompress(in *pressio.Data) {
-	xs := stats.ToFloat64(in)
 	r := pressio.Options{}
-	r.Set("quantized_entropy:bits", stats.QuantizedEntropy(xs, m.Abs))
+	r.Set("quantized_entropy:bits", stats.QuantizedEntropyOf(in, m.Abs, 0))
 	m.results = r
 }
 
@@ -184,7 +185,7 @@ func (m *Variogram) maxLag() int {
 
 // BeginCompress implements pressio.Metric.
 func (m *Variogram) BeginCompress(in *pressio.Data) {
-	xs := stats.ToFloat64(in)
+	xs := stats.Float64Of(in)
 	g := stats.Variogram(xs, in.Dims(), m.maxLag())
 	r := pressio.Options{}
 	r.Set("variogram:gamma1", g[0])
@@ -232,7 +233,7 @@ func (m *SVDTrunc) tau() float64 {
 
 // BeginCompress implements pressio.Metric.
 func (m *SVDTrunc) BeginCompress(in *pressio.Data) {
-	xs := stats.ToFloat64(in)
+	xs := stats.Float64Of(in)
 	rank, frac := stats.SVDTruncation(xs, in.Dims(), m.tau())
 	r := pressio.Options{}
 	r.Set("svd_trunc:rank", int64(rank))
@@ -261,7 +262,7 @@ func (*Spatial) Configuration() pressio.Options {
 
 // BeginCompress implements pressio.Metric.
 func (m *Spatial) BeginCompress(in *pressio.Data) {
-	xs := stats.ToFloat64(in)
+	xs := stats.Float64Of(in)
 	r := pressio.Options{}
 	r.Set("spatial:correlation", stats.SpatialCorrelation(xs, in.Dims()))
 	r.Set("spatial:smoothness", stats.SpatialSmoothness(xs, in.Dims()))
@@ -306,9 +307,9 @@ func (m *Distortion) Options() pressio.Options {
 
 // BeginCompress implements pressio.Metric.
 func (m *Distortion) BeginCompress(in *pressio.Data) {
-	lo, hi := in.Range()
+	s := stats.SummaryOf(in, 0, 0)
 	r := pressio.Options{}
-	r.Set("distortion:general", stats.GeneralDistortion(hi-lo, m.Abs))
+	r.Set("distortion:general", stats.GeneralDistortion(s.Range(), m.Abs))
 	r.Set("distortion:abs", m.Abs)
 	m.results = r
 }

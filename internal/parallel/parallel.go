@@ -1,0 +1,150 @@
+// Package parallel provides the shared bounded worker pool behind the
+// block-parallel compression kernels and the fused feature extraction
+// (DESIGN.md §10). The pool is process-global and sized to
+// runtime.NumCPU(): no matter how many compressions, metric evaluations,
+// and serving requests are in flight, at most NumCPU goroutines do kernel
+// work at once. Callers always participate in their own work, so the pool
+// can never deadlock and a saturated pool degrades to inline serial
+// execution rather than queueing.
+//
+// Everything here is a pure performance knob: a For over [0, n) invokes fn
+// on disjoint contiguous ranges exactly covering [0, n), so any computation
+// whose chunks write disjoint outputs produces results independent of the
+// worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// tokens is the global admission semaphore. Capacity NumCPU-1: the
+// caller's goroutine is the implicit extra worker, so total concurrency is
+// NumCPU. On a single-core machine the channel has zero capacity and every
+// chunk runs inline — the parallel path then costs one failed channel
+// select per chunk over the serial path.
+var tokens = make(chan struct{}, maxInt(runtime.NumCPU()-1, 0))
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxWorkers returns the width of the shared pool (runtime.NumCPU()).
+func MaxWorkers() int { return runtime.NumCPU() }
+
+// Resolve maps a pressio:nthreads option value to an effective worker
+// count: values <= 0 mean "all cores"; anything else is capped at the pool
+// width.
+func Resolve(n int) int {
+	w := MaxWorkers()
+	if n <= 0 || n > w {
+		return w
+	}
+	return n
+}
+
+// minGrain is the smallest per-chunk element count worth a goroutine;
+// below it the spawn and synchronization overhead exceeds the work.
+const minGrain = 2048
+
+// For divides [0, n) into at most `workers` contiguous chunks and invokes
+// fn(lo, hi) for each, using pool goroutines when tokens are available and
+// the caller's goroutine otherwise. It returns when every chunk is done.
+// Chunk boundaries depend only on (workers, n), never on scheduling, and
+// the chunks partition [0, n) exactly.
+func For(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if max := (n + minGrain - 1) / minGrain; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if hi == n {
+			// the caller always runs the final chunk itself
+			fn(lo, hi)
+			break
+		}
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() {
+					<-tokens
+					wg.Done()
+				}()
+				fn(lo, hi)
+			}(lo, hi)
+		default:
+			// pool saturated: degrade to inline execution
+			fn(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+// ForTasks invokes fn(i) for every i in [0, tasks), distributing whole
+// tasks across at most `workers` concurrent executors. Use it when tasks
+// are few and individually heavy (per-chunk kernel encoders); use For when
+// splitting one large index space.
+func ForTasks(workers, tasks int, fn func(i int)) {
+	if tasks <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for i := 0; i < tasks; i++ {
+			fn(i)
+		}
+		return
+	}
+	// deterministic block assignment: executor e owns tasks [starts[e], starts[e+1])
+	var wg sync.WaitGroup
+	chunk := (tasks + workers - 1) / workers
+	for lo := 0; lo < tasks; lo += chunk {
+		hi := lo + chunk
+		if hi > tasks {
+			hi = tasks
+		}
+		run := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+		if hi == tasks {
+			run(lo, hi)
+			break
+		}
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() {
+					<-tokens
+					wg.Done()
+				}()
+				run(lo, hi)
+			}(lo, hi)
+		default:
+			run(lo, hi)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, minGrain, minGrain + 1, 10 * minGrain} {
+		for _, workers := range []int{0, 1, 2, 3, 16, 1000} {
+			seen := make([]int32, n)
+			var mu sync.Mutex
+			ranges := 0
+			For(workers, n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("n=%d workers=%d: empty chunk [%d,%d)", n, workers, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+				mu.Lock()
+				ranges++
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+			if n > 0 && ranges == 0 {
+				t.Fatalf("n=%d workers=%d: fn never called", n, workers)
+			}
+		}
+	}
+}
+
+func TestForChunkBoundariesDeterministic(t *testing.T) {
+	// chunk boundaries must depend only on (workers, n): run twice,
+	// collect the boundary sets, compare.
+	collect := func() map[[2]int]bool {
+		var mu sync.Mutex
+		out := map[[2]int]bool{}
+		For(4, 50*minGrain, func(lo, hi int) {
+			mu.Lock()
+			out[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("chunk count varies: %d vs %d", len(a), len(b))
+	}
+	for r := range a {
+		if !b[r] {
+			t.Fatalf("chunk %v present in one run only", r)
+		}
+	}
+}
+
+func TestForTasks(t *testing.T) {
+	for _, tasks := range []int{0, 1, 5, 64} {
+		for _, workers := range []int{0, 1, 3, 100} {
+			seen := make([]int32, tasks)
+			ForTasks(workers, tasks, func(i int) {
+				atomic.AddInt32(&seen[i], 1)
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("tasks=%d workers=%d: task %d ran %d times", tasks, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	w := MaxWorkers()
+	if got := Resolve(0); got != w {
+		t.Errorf("Resolve(0) = %d, want %d", got, w)
+	}
+	if got := Resolve(-3); got != w {
+		t.Errorf("Resolve(-3) = %d, want %d", got, w)
+	}
+	if got := Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d, want 1", got)
+	}
+	if got := Resolve(w + 100); got != w {
+		t.Errorf("Resolve(w+100) = %d, want %d", got, w)
+	}
+}
+
+// TestForNested pins that pool exhaustion degrades to inline execution
+// rather than deadlocking when For calls nest (a parallel kernel invoked
+// from a parallel driver).
+func TestForNested(t *testing.T) {
+	var count int64
+	For(0, 8*minGrain, func(lo, hi int) {
+		For(0, 8*minGrain, func(lo2, hi2 int) {
+			atomic.AddInt64(&count, int64(hi2-lo2))
+		})
+	})
+	// every outer chunk runs a full inner For
+	if count%int64(8*minGrain) != 0 || count == 0 {
+		t.Fatalf("nested For did %d units, want a positive multiple of %d", count, 8*minGrain)
+	}
+}

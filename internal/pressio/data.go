@@ -23,6 +23,14 @@ type Data struct {
 	i32 []int32
 	i64 []int64
 	by  []byte
+
+	// version counts mutations made through this Data value (Set,
+	// UnmarshalBinary). Derived-value caches (stats.Float64Of,
+	// stats.SummaryOf) key on (pointer, version) so a mutated buffer
+	// never serves stale statistics. Mutating a backing slice obtained
+	// from Float64()/Float32()/... directly bypasses the counter; such
+	// writes must happen before the buffer is shared with metrics.
+	version uint64
 }
 
 // NewByte wraps a raw byte buffer (e.g. a compressed payload) in a Data.
@@ -183,8 +191,15 @@ func (d *Data) At(i int) float64 {
 	panic("pressio: At: unsupported dtype")
 }
 
+// Version returns the mutation generation of the buffer. It increases on
+// every Set and UnmarshalBinary; equal (pointer, Version) pairs denote
+// identical contents, which is what makes per-buffer derived-value caches
+// sound.
+func (d *Data) Version() uint64 { return d.version }
+
 // Set stores v into element i, converting from float64.
 func (d *Data) Set(i int, v float64) {
+	d.version++
 	switch d.dtype {
 	case DTypeFloat32:
 		d.f32[i] = float32(v)
@@ -198,6 +213,45 @@ func (d *Data) Set(i int, v float64) {
 		d.by[i] = byte(v)
 	default:
 		panic("pressio: Set: unsupported dtype")
+	}
+}
+
+// Touch records a mutation made directly through a backing slice
+// (Float32(), Float64(), ...). Bulk writers that fill the backing storage
+// in place must call Touch once afterwards so derived-value caches keyed
+// on (pointer, Version) are invalidated.
+func (d *Data) Touch() { d.version++ }
+
+// FillFloat64 stores vals into the buffer, converting each element from
+// float64 like Set does. len(vals) must equal Len. It is the bulk
+// counterpart of per-element Set loops (one version bump, one typed
+// loop), which decompressors use to write their output.
+func (d *Data) FillFloat64(vals []float64) {
+	if len(vals) != d.Len() {
+		panic(fmt.Sprintf("pressio: FillFloat64 got %d values for %d elements", len(vals), d.Len()))
+	}
+	d.version++
+	switch d.dtype {
+	case DTypeFloat32:
+		for i, v := range vals {
+			d.f32[i] = float32(v)
+		}
+	case DTypeFloat64:
+		copy(d.f64, vals)
+	case DTypeInt32:
+		for i, v := range vals {
+			d.i32[i] = int32(v)
+		}
+	case DTypeInt64:
+		for i, v := range vals {
+			d.i64[i] = int64(v)
+		}
+	case DTypeByte:
+		for i, v := range vals {
+			d.by[i] = byte(v)
+		}
+	default:
+		panic("pressio: FillFloat64: unsupported dtype")
 	}
 }
 
@@ -344,6 +398,7 @@ func (d *Data) UnmarshalBinary(b []byte) error {
 	case DTypeByte:
 		copy(out.by, b)
 	}
+	out.version = d.version + 1
 	*d = *out
 	return nil
 }

@@ -14,24 +14,11 @@ import (
 )
 
 // ToFloat64 converts any numeric Data buffer to a float64 slice. A float64
-// buffer is returned directly without copying.
+// buffer is returned directly without copying; other dtypes are converted
+// once per buffer generation and the cached slice is shared between all
+// callers (see Float64Of), so the result must be treated as read-only.
 func ToFloat64(d *pressio.Data) []float64 {
-	if d.DType() == pressio.DTypeFloat64 {
-		return d.Float64()
-	}
-	n := d.Len()
-	out := make([]float64, n)
-	if d.DType() == pressio.DTypeFloat32 {
-		src := d.Float32()
-		for i, v := range src {
-			out[i] = float64(v)
-		}
-		return out
-	}
-	for i := 0; i < n; i++ {
-		out[i] = d.At(i)
-	}
-	return out
+	return Float64Of(d)
 }
 
 // Mean returns the arithmetic mean, or 0 for empty input.

@@ -1,0 +1,513 @@
+package stats
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/pressio"
+)
+
+// Summary is the fused single-pass feature extraction over one data
+// buffer: min/max/mean/std/sparsity and (optionally) a fixed-width
+// histogram, computed by parallel chunked sweeps over the native element
+// type — no float64 materialization, no per-metric re-reads. One Summary
+// is shared by every metric observing the same buffer (SummaryOf), which
+// is what lets a chain of N metrics touch the data once instead of N
+// times.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Std      float64
+	// ZeroCount is the number of elements exactly equal to zero — the
+	// numerator of the eps=0 sparsity fraction.
+	ZeroCount int
+	// NaNCount and InfCount record non-finite elements. Non-finite
+	// values poison sums, so Mean/Std are computed over finite elements
+	// only and the counts let callers detect the exclusion.
+	NaNCount int
+	InfCount int
+	// Bins and Hist hold the equal-width histogram of the values over
+	// [Min, Max], bit-identical to Histogram(xs, Min, Max, Bins). Hist
+	// is nil when the summary was computed with bins == 0.
+	Bins int
+	Hist []uint64
+}
+
+// Range returns Max - Min, the value range feeding the stat:range and
+// general-distortion features.
+func (s *Summary) Range() float64 { return s.Max - s.Min }
+
+// Sparsity returns the exact-zero fraction, matching Sparsity(xs, 0).
+func (s *Summary) Sparsity() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.ZeroCount) / float64(s.N)
+}
+
+// Entropy returns the Shannon entropy in bits of the histogram, matching
+// EntropyFromCounts(Histogram(xs, Min, Max, Bins)).
+func (s *Summary) Entropy() float64 { return EntropyFromCounts(s.Hist) }
+
+// momentAcc is one chunk's partial reduction for the first sweep.
+type momentAcc struct {
+	min, max float64
+	sum      float64
+	n        int // finite element count
+	zeros    int
+	nans     int
+	infs     int
+}
+
+// sweepMoments reduces one chunk of the buffer via the generic accessor;
+// typed fast paths below shadow it for float32/float64.
+func sweepMoments(at func(int) float64, lo, hi int) momentAcc {
+	acc := momentAcc{min: math.Inf(1), max: math.Inf(-1)}
+	for i := lo; i < hi; i++ {
+		v := at(i)
+		if v == 0 {
+			acc.zeros++
+		}
+		if math.IsNaN(v) {
+			acc.nans++
+			continue
+		}
+		if math.IsInf(v, 0) {
+			acc.infs++
+		}
+		if v < acc.min {
+			acc.min = v
+		}
+		if v > acc.max {
+			acc.max = v
+		}
+		acc.sum += v
+		acc.n++
+	}
+	return acc
+}
+
+func momentsF32(xs []float32, lo, hi int) momentAcc {
+	acc := momentAcc{min: math.Inf(1), max: math.Inf(-1)}
+	for _, f := range xs[lo:hi] {
+		v := float64(f)
+		if v == 0 {
+			acc.zeros++
+		}
+		if math.IsNaN(v) {
+			acc.nans++
+			continue
+		}
+		if math.IsInf(v, 0) {
+			acc.infs++
+		}
+		if v < acc.min {
+			acc.min = v
+		}
+		if v > acc.max {
+			acc.max = v
+		}
+		acc.sum += v
+		acc.n++
+	}
+	return acc
+}
+
+func momentsF64(xs []float64, lo, hi int) momentAcc {
+	acc := momentAcc{min: math.Inf(1), max: math.Inf(-1)}
+	for _, v := range xs[lo:hi] {
+		if v == 0 {
+			acc.zeros++
+		}
+		if math.IsNaN(v) {
+			acc.nans++
+			continue
+		}
+		if math.IsInf(v, 0) {
+			acc.infs++
+		}
+		if v < acc.min {
+			acc.min = v
+		}
+		if v > acc.max {
+			acc.max = v
+		}
+		acc.sum += v
+		acc.n++
+	}
+	return acc
+}
+
+// devHistAcc is one chunk's partial reduction for the second sweep:
+// squared deviations from the global mean plus the histogram counts.
+type devHistAcc struct {
+	sumSq float64
+	hist  []uint64
+}
+
+// Summarize computes the fused summary of d with the given histogram bin
+// count (0 skips the histogram) using up to `workers` pool workers. The
+// result is independent of the worker count up to float addition order;
+// histogram counts are exact. Prefer SummaryOf, which caches per buffer
+// generation.
+func Summarize(d *pressio.Data, bins, workers int) *Summary {
+	n := d.Len()
+	s := &Summary{N: n, Bins: bins}
+	if n == 0 {
+		if bins > 0 {
+			s.Hist = make([]uint64, bins)
+		}
+		return s
+	}
+
+	// sweep 1: min/max/sum/zeros in parallel chunks over the native type
+	var mu sync.Mutex
+	total := momentAcc{min: math.Inf(1), max: math.Inf(-1)}
+	merge := func(acc momentAcc) {
+		mu.Lock()
+		if acc.min < total.min {
+			total.min = acc.min
+		}
+		if acc.max > total.max {
+			total.max = acc.max
+		}
+		total.sum += acc.sum
+		total.n += acc.n
+		total.zeros += acc.zeros
+		total.nans += acc.nans
+		total.infs += acc.infs
+		mu.Unlock()
+	}
+	parallel.For(workers, n, func(lo, hi int) {
+		switch d.DType() {
+		case pressio.DTypeFloat32:
+			merge(momentsF32(d.Float32(), lo, hi))
+		case pressio.DTypeFloat64:
+			merge(momentsF64(d.Float64(), lo, hi))
+		default:
+			merge(sweepMoments(d.At, lo, hi))
+		}
+	})
+	s.ZeroCount = total.zeros
+	s.NaNCount = total.nans
+	s.InfCount = total.infs
+	if total.n == 0 {
+		// all-NaN buffer: no finite values to summarize
+		if bins > 0 {
+			s.Hist = make([]uint64, bins)
+			s.Hist[0] = uint64(total.nans)
+		}
+		return s
+	}
+	s.Min = total.min
+	s.Max = total.max
+	s.Mean = total.sum / float64(total.n)
+
+	// sweep 2: squared deviations and histogram against the known range
+	lo64, hi64, mean := s.Min, s.Max, s.Mean
+	degenerate := bins > 0 && hi64 <= lo64
+	scale := 0.0
+	if bins > 0 && !degenerate {
+		scale = float64(bins) / (hi64 - lo64)
+	}
+	var sumSq float64
+	var hist []uint64
+	if bins > 0 {
+		hist = make([]uint64, bins)
+	}
+	merge2 := func(acc devHistAcc) {
+		mu.Lock()
+		sumSq += acc.sumSq
+		for i, c := range acc.hist {
+			if c != 0 {
+				hist[i] += c
+			}
+		}
+		mu.Unlock()
+	}
+	parallel.For(workers, n, func(clo, chi int) {
+		acc := devHistAcc{}
+		if bins > 0 {
+			acc.hist = make([]uint64, bins)
+		}
+		at := d.At
+		sweep := func(v float64) {
+			if !math.IsNaN(v) {
+				dv := v - mean
+				acc.sumSq += dv * dv
+			}
+			if bins > 0 {
+				if degenerate {
+					acc.hist[0]++
+					return
+				}
+				i := int((v - lo64) * scale)
+				if i < 0 {
+					i = 0
+				}
+				if i >= bins {
+					i = bins - 1
+				}
+				acc.hist[i]++
+			}
+		}
+		switch d.DType() {
+		case pressio.DTypeFloat32:
+			for _, f := range d.Float32()[clo:chi] {
+				sweep(float64(f))
+			}
+		case pressio.DTypeFloat64:
+			for _, v := range d.Float64()[clo:chi] {
+				sweep(v)
+			}
+		default:
+			for i := clo; i < chi; i++ {
+				sweep(at(i))
+			}
+		}
+		merge2(acc)
+	})
+	s.Std = math.Sqrt(sumSq / float64(total.n))
+	s.Hist = hist
+	return s
+}
+
+// --- per-buffer derived-value cache ------------------------------------
+
+// cacheEntry holds the derived values of one (Data pointer, version)
+// generation. A new generation invalidates every derived value at once.
+type cacheEntry struct {
+	data    *pressio.Data
+	version uint64
+
+	f64     []float64
+	summary *Summary
+
+	qeOK   bool
+	qeAbs  float64
+	qeBits float64
+}
+
+// derivedCache is a small move-to-front cache keyed by Data pointer
+// identity. Eight entries cover the working set of a metric chain, a
+// bench sweep cell, and concurrent predictd requests without pinning an
+// unbounded amount of buffer-sized memory.
+type derivedCache struct {
+	mu      sync.Mutex
+	entries []*cacheEntry // most recently used first
+}
+
+const derivedCacheCap = 8
+
+var cache derivedCache
+
+// lookup returns (creating if needed) the entry for d's current
+// generation. Callers must hold no locks; the entry is returned outside
+// the cache lock and may be concurrently filled by racing goroutines —
+// fills are idempotent, so last-write-wins is sound.
+func (c *derivedCache) lookup(d *pressio.Data) *cacheEntry {
+	v := d.Version()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.entries {
+		if e.data == d {
+			if e.version != v {
+				e = &cacheEntry{data: d, version: v}
+				c.entries[i] = e
+			}
+			// move to front
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = e
+			return e
+		}
+	}
+	e := &cacheEntry{data: d, version: v}
+	if len(c.entries) < derivedCacheCap {
+		c.entries = append(c.entries, nil)
+	}
+	copy(c.entries[1:], c.entries)
+	c.entries[0] = e
+	return e
+}
+
+// Float64Of returns a float64 view of d, cached per buffer generation: a
+// float64 buffer is returned directly, anything else is converted once
+// and reused by every subsequent caller (metrics, kernels, predictors)
+// until the buffer mutates. The returned slice is shared — callers must
+// not modify it.
+func Float64Of(d *pressio.Data) []float64 {
+	if d.DType() == pressio.DTypeFloat64 {
+		return d.Float64()
+	}
+	e := cache.lookup(d)
+	cache.mu.Lock()
+	xs := e.f64
+	cache.mu.Unlock()
+	if xs != nil {
+		return xs
+	}
+	n := d.Len()
+	out := make([]float64, n)
+	if d.DType() == pressio.DTypeFloat32 {
+		src := d.Float32()
+		parallel.For(0, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(src[i])
+			}
+		})
+	} else {
+		for i := 0; i < n; i++ {
+			out[i] = d.At(i)
+		}
+	}
+	cache.mu.Lock()
+	e.f64 = out
+	cache.mu.Unlock()
+	return out
+}
+
+// SummaryOf returns the fused summary of d's current generation, cached
+// so a chain of metrics (and predictd's feature synthesis) computes it
+// once per buffer. bins == 0 requests moments only; if a histogram with
+// different bin width than the cached one is requested, the histogram
+// sweep reruns but the moments are reused.
+func SummaryOf(d *pressio.Data, bins, workers int) *Summary {
+	e := cache.lookup(d)
+	cache.mu.Lock()
+	s := e.summary
+	cache.mu.Unlock()
+	if s != nil && (bins == 0 || s.Bins == bins) {
+		return s
+	}
+	s = Summarize(d, bins, workers)
+	cache.mu.Lock()
+	if e.summary == nil || bins != 0 {
+		e.summary = s
+	}
+	cache.mu.Unlock()
+	return s
+}
+
+// QuantizedEntropyOf returns the quantized entropy of d at the given
+// bound, cached per (generation, bound). The computation is a single
+// sweep over the native element type; when the quantized key span is
+// small it counts into a pooled dense array instead of a map, which is
+// the common case for real error bounds and is several times faster.
+func QuantizedEntropyOf(d *pressio.Data, abs float64, workers int) float64 {
+	e := cache.lookup(d)
+	cache.mu.Lock()
+	if e.qeOK && e.qeAbs == abs {
+		bits := e.qeBits
+		cache.mu.Unlock()
+		return bits
+	}
+	cache.mu.Unlock()
+	bits := quantizedEntropyData(d, abs, workers)
+	cache.mu.Lock()
+	e.qeOK, e.qeAbs, e.qeBits = true, abs, bits
+	cache.mu.Unlock()
+	return bits
+}
+
+// denseCountPool recycles the dense counting arrays of the quantized
+// entropy fast path.
+var denseCountPool = sync.Pool{New: func() any { return []uint32(nil) }}
+
+// maxDenseSpan bounds the dense fast path's key span (8 MiB of counters);
+// wider spans (pathological bounds) fall back to the map path.
+const maxDenseSpan = 1 << 21
+
+func quantizedEntropyData(d *pressio.Data, abs float64, workers int) float64 {
+	n := d.Len()
+	if n == 0 {
+		return 0
+	}
+	if abs <= 0 {
+		// entropy of exact values — rare path, via the cached view
+		return QuantizedEntropy(Float64Of(d), abs)
+	}
+	q := 2 * abs
+	s := SummaryOf(d, 0, workers)
+	if s.NaNCount == 0 && s.InfCount == 0 {
+		kmin := int64(math.Floor(s.Min / q))
+		kmax := int64(math.Floor(s.Max / q))
+		span := kmax - kmin + 1
+		if span > 0 && span <= maxDenseSpan {
+			counts := denseCountPool.Get().([]uint32)
+			if int64(len(counts)) < span {
+				counts = make([]uint32, span)
+			}
+			counts = counts[:span]
+			countInto := func(v float64) {
+				k := int64(math.Floor(v/q)) - kmin
+				// clamp: float rounding at the extremes can land one
+				// cell outside the derived span
+				if k < 0 {
+					k = 0
+				}
+				if k >= span {
+					k = span - 1
+				}
+				counts[k]++
+			}
+			switch d.DType() {
+			case pressio.DTypeFloat32:
+				for _, f := range d.Float32() {
+					countInto(float64(f))
+				}
+			case pressio.DTypeFloat64:
+				for _, v := range d.Float64() {
+					countInto(v)
+				}
+			default:
+				for i := 0; i < n; i++ {
+					countInto(d.At(i))
+				}
+			}
+			var h float64
+			ft := float64(n)
+			for i := range counts {
+				c := counts[i]
+				if c != 0 {
+					p := float64(c) / ft
+					h -= p * math.Log2(p)
+					counts[i] = 0 // zero while hot for pool reuse
+				}
+			}
+			denseCountPool.Put(counts)
+			return h
+		}
+	}
+	// exact fallback: parallel partial maps, merged
+	var mu sync.Mutex
+	counts := make(map[int64]uint64, 1024)
+	parallel.For(workers, n, func(lo, hi int) {
+		local := make(map[int64]uint64, 256)
+		switch d.DType() {
+		case pressio.DTypeFloat32:
+			for _, f := range d.Float32()[lo:hi] {
+				local[int64(math.Floor(float64(f)/q))]++
+			}
+		case pressio.DTypeFloat64:
+			for _, v := range d.Float64()[lo:hi] {
+				local[int64(math.Floor(v/q))]++
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				local[int64(math.Floor(d.At(i)/q))]++
+			}
+		}
+		mu.Lock()
+		for k, c := range local {
+			counts[k] += c
+		}
+		mu.Unlock()
+	})
+	cs := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return EntropyFromCounts(cs)
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pressio"
+)
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	xs := []float64{3, 3, 3, 3}
+	h := Histogram(xs, 3, 3, 8) // lo == hi
+	if h[0] != 4 {
+		t.Errorf("lo==hi: counts[0] = %d, want 4", h[0])
+	}
+	for i, c := range h[1:] {
+		if c != 0 {
+			t.Errorf("lo==hi: counts[%d] = %d, want 0", i+1, c)
+		}
+	}
+	h = Histogram(xs, 5, 2, 4) // hi < lo
+	if h[0] != 4 {
+		t.Errorf("hi<lo: counts[0] = %d, want 4", h[0])
+	}
+}
+
+func TestHistogramSingleBin(t *testing.T) {
+	xs := []float64{-1, 0, 2.5, 7}
+	h := Histogram(xs, -1, 7, 1)
+	if len(h) != 1 || h[0] != 4 {
+		t.Errorf("bins==1: got %v, want [4]", h)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := Histogram(nil, 0, 1, 4)
+	var total uint64
+	for _, c := range h {
+		total += c
+	}
+	if len(h) != 4 || total != 0 {
+		t.Errorf("empty input: got %v, want 4 zero bins", h)
+	}
+}
+
+func TestHistogramNonFinite(t *testing.T) {
+	xs := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0.5}
+	h := Histogram(xs, 0, 1, 4)
+	var total uint64
+	for _, c := range h {
+		total += c
+	}
+	// every element lands in some bin — Go's out-of-range float→int
+	// conversion yields the platform "indefinite" value, which the clamp
+	// sends to bin 0 for NaN and both infinities
+	if total != 4 {
+		t.Errorf("non-finite: %d elements binned, want 4", total)
+	}
+	if h[2] != 1 {
+		t.Errorf("0.5 should land in bin 2: %v", h)
+	}
+}
+
+func summaryFor(t *testing.T, vals []float32, bins int) *Summary {
+	t.Helper()
+	d := pressio.FromFloat32(vals, len(vals))
+	return Summarize(d, bins, 1)
+}
+
+func TestSummaryMatchesReferenceStats(t *testing.T) {
+	vals := make([]float32, 10000)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i)/37) * float64(i%89))
+		if i%97 == 0 {
+			vals[i] = 0
+		}
+	}
+	d := pressio.FromFloat32(vals, 100, 100)
+	s := Summarize(d, 256, 1)
+
+	xs := make([]float64, len(vals))
+	for i, v := range vals {
+		xs[i] = float64(v)
+	}
+	lo, hi := d.Range()
+	if s.Min != lo || s.Max != hi {
+		t.Errorf("min/max = %g/%g, want %g/%g", s.Min, s.Max, lo, hi)
+	}
+	if diff := math.Abs(s.Mean - Mean(xs)); diff > 1e-9*math.Abs(s.Mean) {
+		t.Errorf("mean = %g, want %g", s.Mean, Mean(xs))
+	}
+	if diff := math.Abs(s.Std - Std(xs)); diff > 1e-9*s.Std {
+		t.Errorf("std = %g, want %g", s.Std, Std(xs))
+	}
+	if s.Sparsity() != Sparsity(xs, 0) {
+		t.Errorf("sparsity = %g, want %g", s.Sparsity(), Sparsity(xs, 0))
+	}
+	ref := Histogram(xs, lo, hi, 256)
+	for i := range ref {
+		if s.Hist[i] != ref[i] {
+			t.Fatalf("hist[%d] = %d, want %d", i, s.Hist[i], ref[i])
+		}
+	}
+	if s.Entropy() != EntropyFromCounts(ref) {
+		t.Errorf("entropy = %g, want %g", s.Entropy(), EntropyFromCounts(ref))
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := summaryFor(t, []float32{}, 16)
+	if s.N != 0 || s.Sparsity() != 0 || s.Entropy() != 0 {
+		t.Errorf("empty summary: N=%d sparsity=%g entropy=%g", s.N, s.Sparsity(), s.Entropy())
+	}
+	if len(s.Hist) != 16 {
+		t.Errorf("empty summary hist len = %d, want 16", len(s.Hist))
+	}
+}
+
+func TestSummaryConstantField(t *testing.T) {
+	s := summaryFor(t, []float32{5, 5, 5, 5, 5}, 8)
+	if s.Min != 5 || s.Max != 5 || s.Range() != 0 {
+		t.Errorf("constant field: min=%g max=%g", s.Min, s.Max)
+	}
+	if s.Mean != 5 || s.Std != 0 {
+		t.Errorf("constant field: mean=%g std=%g", s.Mean, s.Std)
+	}
+	// degenerate range: everything in bin 0, matching Histogram
+	if s.Hist[0] != 5 {
+		t.Errorf("constant field: hist[0]=%d, want 5", s.Hist[0])
+	}
+	if s.Entropy() != 0 {
+		t.Errorf("constant field entropy = %g, want 0", s.Entropy())
+	}
+}
+
+func TestSummarySingleBin(t *testing.T) {
+	s := summaryFor(t, []float32{1, 2, 3, 4}, 1)
+	if len(s.Hist) != 1 || s.Hist[0] != 4 {
+		t.Errorf("bins==1: hist = %v, want [4]", s.Hist)
+	}
+	if s.Entropy() != 0 {
+		t.Errorf("bins==1 entropy = %g, want 0", s.Entropy())
+	}
+}
+
+func TestSummaryNaNInf(t *testing.T) {
+	nan32 := float32(math.NaN())
+	inf32 := float32(math.Inf(1))
+	s := summaryFor(t, []float32{1, nan32, 2, inf32, 3}, 4)
+	if s.NaNCount != 1 || s.InfCount != 1 {
+		t.Errorf("NaN/Inf counts = %d/%d, want 1/1", s.NaNCount, s.InfCount)
+	}
+	// min/max skip NaN (comparison semantics) but include Inf
+	if s.Min != 1 || !math.IsInf(s.Max, 1) {
+		t.Errorf("min/max = %g/%g, want 1/+Inf", s.Min, s.Max)
+	}
+	var total uint64
+	for _, c := range s.Hist {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram binned %d elements, want all 5", total)
+	}
+}
+
+func TestSummaryAllNaN(t *testing.T) {
+	nan32 := float32(math.NaN())
+	s := summaryFor(t, []float32{nan32, nan32, nan32}, 4)
+	if s.NaNCount != 3 {
+		t.Errorf("NaNCount = %d, want 3", s.NaNCount)
+	}
+	if s.Min != 0 || s.Max != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("all-NaN moments should be zero: %+v", s)
+	}
+	if s.Hist[0] != 3 {
+		t.Errorf("all-NaN hist[0] = %d, want 3", s.Hist[0])
+	}
+}
+
+func TestSummaryOfCachesPerGeneration(t *testing.T) {
+	d := pressio.FromFloat32([]float32{1, 2, 3, 4}, 4)
+	s1 := SummaryOf(d, 8, 1)
+	s2 := SummaryOf(d, 8, 1)
+	if s1 != s2 {
+		t.Errorf("same generation should return the cached summary")
+	}
+	d.Set(0, 100)
+	s3 := SummaryOf(d, 8, 1)
+	if s3 == s1 {
+		t.Errorf("mutation must invalidate the cached summary")
+	}
+	if s3.Max != 100 {
+		t.Errorf("post-mutation max = %g, want 100", s3.Max)
+	}
+}
+
+func TestFloat64OfCachesPerGeneration(t *testing.T) {
+	d := pressio.FromFloat32([]float32{1, 2, 3}, 3)
+	a := Float64Of(d)
+	b := Float64Of(d)
+	if &a[0] != &b[0] {
+		t.Errorf("same generation should share one conversion")
+	}
+	d.Set(1, 7)
+	c := Float64Of(d)
+	if c[1] != 7 {
+		t.Errorf("post-mutation conversion = %v, want index 1 == 7", c)
+	}
+	// float64 input passes through without copying
+	d64 := pressio.FromFloat64([]float64{1, 2}, 2)
+	if &Float64Of(d64)[0] != &d64.Float64()[0] {
+		t.Errorf("float64 buffer should be returned directly")
+	}
+}
+
+func TestQuantizedEntropyOfMatchesReference(t *testing.T) {
+	vals := make([]float32, 5000)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 11))
+	}
+	d := pressio.FromFloat32(vals, len(vals))
+	xs := make([]float64, len(vals))
+	for i, v := range vals {
+		xs[i] = float64(v)
+	}
+	for _, abs := range []float64{1e-1, 1e-3, 1e-6} {
+		got := QuantizedEntropyOf(d, abs, 1)
+		want := QuantizedEntropy(xs, abs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("abs=%g: quantized entropy = %g, want %g", abs, got, want)
+		}
+	}
+	// non-finite values force the exact map fallback
+	vals[17] = float32(math.NaN())
+	d2 := pressio.FromFloat32(vals, len(vals))
+	xs[17] = math.NaN()
+	got := QuantizedEntropyOf(d2, 1e-3, 1)
+	want := QuantizedEntropy(xs, 1e-3)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("NaN fallback: quantized entropy = %g, want %g", got, want)
+	}
+}
