@@ -1,6 +1,7 @@
 GO ?= go
+PRESSIOVET := bin/pressiovet
 
-.PHONY: build test check fmt-check serve-check stress bench bench-baseline bench-check clean
+.PHONY: build test check lint fmt-check serve-check stress bench bench-baseline bench-check clean
 
 build:
 	$(GO) build ./...
@@ -8,17 +9,31 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full verification gate: formatting, vet, build, and the
-# complete test suite under the race detector. -short skips the long
-# queue stress test and the model-fitting serve tests; run `make stress`
-# and `make serve-check` to include them.
+# check is the full verification gate: formatting, standard vet (with the
+# extra unreachable/copylocks/lostcancel passes spelled out so a vet
+# default change can't silently drop them), the pressiovet suite, build,
+# and the complete test suite under the race detector. The default stays
+# `-race -short`: -race is what actually exercises the sync.Pool and
+# queue invariants the linters guard statically, and -short keeps the
+# gate fast enough to run on every change by skipping the long queue
+# stress test and the model-fitting serve tests (run `make stress` and
+# `make serve-check` to include them).
 check: fmt-check
 	$(GO) vet ./...
+	$(GO) vet -unreachable -copylocks -lostcancel ./...
+	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test -race -short ./...
 ifdef BENCH
 	$(MAKE) bench-check
 endif
+
+# lint runs the pressiovet analyzers (DESIGN.md §11) over the whole tree
+# via the `go vet -vettool` unitchecker protocol. Idempotent: rebuilds
+# the tool from source each run; exits non-zero on any finding.
+lint:
+	$(GO) build -o $(PRESSIOVET) ./cmd/pressiovet
+	$(GO) vet -vettool=$(abspath $(PRESSIOVET)) ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -14,6 +14,7 @@ package repro
 // reduced spec so it completes in benchmark time.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -159,7 +160,7 @@ func BenchmarkTable2EndToEnd(b *testing.B) {
 			Workers: 4,
 			Seed:    int64(i + 1),
 		}
-		report, err := bench.Run(spec)
+		report, err := bench.Run(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,19 @@
+// Command pressiovet runs the repo's custom analysis suite (DESIGN.md
+// §11) through the `go vet -vettool` protocol:
+//
+//	go build -o bin/pressiovet ./cmd/pressiovet
+//	go vet -vettool=$(pwd)/bin/pressiovet ./...
+//
+// or simply `make lint`. The binary speaks the unitchecker protocol, so
+// the go command handles package loading, caching, and fact plumbing;
+// pressiovet only contributes the analyzers in internal/lint.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/xtools/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

@@ -4,6 +4,7 @@ package repro
 // exercised end to end against the real plugins.
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -83,7 +84,7 @@ func TestFigure1Flow(t *testing.T) {
 		Folds:       3,
 		Seed:        11,
 	}
-	obs, err := bench.Collect(spec)
+	obs, err := bench.Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTable2ShapeHolds(t *testing.T) {
 		Folds:  4,
 		Seed:   3,
 	}
-	report, err := bench.Run(spec)
+	report, err := bench.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

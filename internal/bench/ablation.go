@@ -3,7 +3,6 @@ package bench
 import (
 	"bytes"
 	"fmt"
-	"time"
 
 	"repro/internal/hurricane"
 	"repro/internal/predictors"
@@ -35,9 +34,9 @@ func AblationSVD(spec *Spec, reps int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		start := time.Now()
+		start := now()
 		svd.BeginCompress(data)
-		svdMS = append(svdMS, time.Since(start).Seconds()*1e3)
+		svdMS = append(svdMS, now().Sub(start).Seconds()*1e3)
 
 		qent, err := pressio.GetMetric("quantized_entropy")
 		if err != nil {
@@ -46,9 +45,9 @@ func AblationSVD(spec *Spec, reps int) (string, error) {
 		if err := qent.SetOptions(opts); err != nil {
 			return "", err
 		}
-		start = time.Now()
+		start = now()
 		qent.BeginCompress(data)
-		qentMS = append(qentMS, time.Since(start).Seconds()*1e3)
+		qentMS = append(qentMS, now().Sub(start).Seconds()*1e3)
 	}
 	svdStat := summarize(svdMS)
 	qentStat := summarize(qentMS)
@@ -88,9 +87,9 @@ func AblationJin(spec *Spec, reps int) (string, error) {
 		if err := naive.SetOptions(opts); err != nil {
 			return "", err
 		}
-		start := time.Now()
+		start := now()
 		naive.BeginCompress(data)
-		naiveMS = append(naiveMS, time.Since(start).Seconds()*1e3)
+		naiveMS = append(naiveMS, now().Sub(start).Seconds()*1e3)
 
 		fast, err := pressio.GetMetric("jin_model")
 		if err != nil {
@@ -101,9 +100,9 @@ func AblationJin(spec *Spec, reps int) (string, error) {
 		if err := fast.SetOptions(fastOpts); err != nil {
 			return "", err
 		}
-		start = time.Now()
+		start = now()
 		fast.BeginCompress(data)
-		fastMS = append(fastMS, time.Since(start).Seconds()*1e3)
+		fastMS = append(fastMS, now().Sub(start).Seconds()*1e3)
 
 		comp, err := pressio.GetCompressor("sz3")
 		if err != nil {
@@ -112,11 +111,11 @@ func AblationJin(spec *Spec, reps int) (string, error) {
 		if err := comp.SetOptions(opts); err != nil {
 			return "", err
 		}
-		start = time.Now()
+		start = now()
 		if _, err := comp.Compress(data); err != nil {
 			return "", err
 		}
-		compressMS = append(compressMS, time.Since(start).Seconds()*1e3)
+		compressMS = append(compressMS, now().Sub(start).Seconds()*1e3)
 	}
 	n := summarize(naiveMS)
 	f := summarize(fastMS)
@@ -169,17 +168,17 @@ func observeBaseline(compressor string, data *pressio.Data, opts pressio.Options
 	if err := comp.SetOptions(opts); err != nil {
 		return 0, 0, 0, err
 	}
-	start := time.Now()
+	start := now()
 	compressed, err := comp.Compress(data)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	cms = time.Since(start).Seconds() * 1e3
+	cms = now().Sub(start).Seconds() * 1e3
 	out := pressio.New(data.DType(), data.Dims()...)
-	start = time.Now()
+	start = now()
 	if err := comp.Decompress(compressed, out); err != nil {
 		return 0, 0, 0, err
 	}
-	dms = time.Since(start).Seconds() * 1e3
+	dms = now().Sub(start).Seconds() * 1e3
 	return float64(data.ByteSize()) / float64(compressed.ByteSize()), cms, dms, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -59,7 +60,7 @@ func TestMedAPEOnly(t *testing.T) {
 	spec.Steps = 2
 	spec.Compressors = []string{"sz3"}
 	spec.Schemes = []string{"khan2023"}
-	obs, err := Collect(spec)
+	obs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

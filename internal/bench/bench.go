@@ -228,9 +228,9 @@ func observe(spec *Spec, field string, step int, bound float64, compressor strin
 		if err := m.SetOptions(opts); err != nil {
 			return nil, fmt.Errorf("metric %s: %w", name, err)
 		}
-		start := time.Now()
+		start := now()
 		m.BeginCompress(data)
-		ob.MetricMS[name] = time.Since(start).Seconds() * 1e3
+		ob.MetricMS[name] = now().Sub(start).Seconds() * 1e3
 		for k, v := range m.Results() {
 			switch t := v.(type) {
 			case float64:
@@ -327,8 +327,8 @@ type CollectResult struct {
 // It degrades gracefully — cells that exhaust their retries are dropped
 // (recorded in the checkpoint store when one is configured) and the
 // survivors returned; it errors only when nothing survives.
-func Collect(spec *Spec) ([]*Observation, error) {
-	res, err := CollectDetailed(context.Background(), spec)
+func Collect(ctx context.Context, spec *Spec) ([]*Observation, error) {
+	res, err := CollectDetailed(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -625,8 +625,8 @@ func Evaluate(spec *Spec, obs []*Observation) (*Report, error) {
 }
 
 // Run is Collect + Evaluate.
-func Run(spec *Spec) (*Report, error) {
-	return RunContext(context.Background(), spec)
+func Run(ctx context.Context, spec *Spec) (*Report, error) {
+	return RunContext(ctx, spec)
 }
 
 // RunContext is Run with whole-run cancellation: on ctx cancellation the
@@ -777,18 +777,18 @@ func evaluateScheme(spec *Spec, schemeName, compressor string, cobs []*Observati
 			tx[i] = x[idx]
 			ty[i] = y[idx]
 		}
-		start := time.Now()
+		start := now()
 		if err := p.Fit(tx, ty); err != nil {
 			return nil, fmt.Errorf("bench: %s fold %d fit: %w", schemeName, f, err)
 		}
-		fitTimes = append(fitTimes, time.Since(start).Seconds()*1e3)
+		fitTimes = append(fitTimes, now().Sub(start).Seconds()*1e3)
 		for _, idx := range tests[f] {
-			start := time.Now()
+			start := now()
 			v, err := p.Predict(x[idx])
 			if err != nil {
 				return nil, err
 			}
-			inferTimes = append(inferTimes, time.Since(start).Seconds()*1e3)
+			inferTimes = append(inferTimes, now().Sub(start).Seconds()*1e3)
 			allPreds = append(allPreds, v)
 			allActuals = append(allActuals, y[idx])
 		}

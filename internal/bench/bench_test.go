@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"math"
 	"strings"
@@ -27,7 +28,7 @@ func tinySpec(t *testing.T) *Spec {
 
 func TestCollectProducesAllCells(t *testing.T) {
 	spec := tinySpec(t)
-	obs, err := Collect(spec)
+	obs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestCollectProducesAllCells(t *testing.T) {
 
 func TestRunProducesTable2Shape(t *testing.T) {
 	spec := tinySpec(t)
-	report, err := Run(spec)
+	report, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestCheckpointRestartSkipsWork(t *testing.T) {
 			ran.Add(1) // count computed cells, not the run summary
 		}
 	}
-	if _, err := Collect(spec); err != nil {
+	if _, err := Collect(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
 	if ran.Load() == 0 {
@@ -127,7 +128,7 @@ func TestCheckpointRestartSkipsWork(t *testing.T) {
 	}
 	// second run over the same store: everything checkpointed
 	ran.Store(0)
-	obs, err := Collect(spec)
+	obs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestCollectSurvivesInjectedFaults(t *testing.T) {
 	spec.Fields = []string{"P", "W"}
 	spec.Steps = 2
 	spec.FailureRate = 0.2
-	obs, err := Collect(spec)
+	obs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("fault injection should be absorbed by retries: %v", err)
 	}
@@ -175,7 +176,7 @@ func TestEvaluateTrainedSchemesAcrossFolds(t *testing.T) {
 	spec := tinySpec(t)
 	spec.Schemes = []string{"rahman2023", "krasowska2021"}
 	spec.Compressors = []string{"sz3"}
-	obs, err := Collect(spec)
+	obs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestInSampleBeatsOutOfSample(t *testing.T) {
 	spec := tinySpec(t)
 	spec.Schemes = []string{"rahman2023"}
 	spec.Compressors = []string{"sz3"}
-	obs, err := Collect(spec)
+	obs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestBandwidthTarget(t *testing.T) {
 	spec.Compressors = []string{"zfp"}
 	spec.Target = TargetBandwidth
 	spec.Replicates = 2
-	report, err := Run(spec)
+	report, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,14 +302,14 @@ func TestRemoteWorkers(t *testing.T) {
 	spec.Steps = 2
 	spec.Compressors = []string{"sz3"}
 	spec.RemoteWorkers = []string{ln1.Addr().String(), ln2.Addr().String()}
-	remoteObs, err := Collect(spec)
+	remoteObs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	localSpec := *spec
 	localSpec.RemoteWorkers = nil
-	localObs, err := Collect(&localSpec)
+	localObs, err := Collect(context.Background(), &localSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestRemoteWorkerDown(t *testing.T) {
 	spec.Steps = 1
 	spec.Compressors = []string{"sz3"}
 	spec.RemoteWorkers = []string{"127.0.0.1:1"} // nothing listens here
-	if _, err := Collect(spec); err == nil {
+	if _, err := Collect(context.Background(), spec); err == nil {
 		t.Error("unreachable worker should surface an error after retries")
 	}
 }
@@ -366,7 +367,7 @@ func TestReportCSV(t *testing.T) {
 	spec := tinySpec(t)
 	spec.Fields = []string{"P", "U", "CLOUD", "W"}
 	spec.Steps = 2
-	report, err := Run(spec)
+	report, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestScatter(t *testing.T) {
 	spec.Fields = []string{"P", "U", "CLOUD", "W"}
 	spec.Steps = 2
 	spec.Compressors = []string{"sz3"}
-	obs, err := Collect(spec)
+	obs, err := Collect(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ func TestStoreInfo(t *testing.T) {
 	spec.Fields = []string{"P", "U"}
 	spec.Steps = 2
 	spec.StoreDir = t.TempDir()
-	if _, err := Collect(spec); err != nil {
+	if _, err := Collect(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
 	out, err := StoreInfo(spec.StoreDir)

@@ -113,6 +113,10 @@ type poolConfig struct {
 	BreakerCooldown time.Duration
 	// Inject scripts dial/call faults (tests only).
 	Inject *faultinject.Plan
+	// Clock supplies the time used for breaker cooldowns and probe
+	// scheduling; tests replace it to replay fault schedules
+	// deterministically (default time.Now).
+	Clock func() time.Time
 }
 
 func (c *poolConfig) defaults() {
@@ -130,6 +134,9 @@ func (c *poolConfig) defaults() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 }
 
@@ -232,7 +239,7 @@ func (p *remotePool) acquire(worker int) (*endpoint, bool) {
 	if !pinned {
 		pin = worker % n
 	}
-	now := time.Now()
+	now := p.cfg.Clock()
 	for i := 0; i < n; i++ {
 		idx := (pin + i) % n
 		ep := p.eps[idx]
@@ -270,7 +277,7 @@ func (p *remotePool) onResult(ep *endpoint, err error, probe bool) {
 	ep.consecFails++
 	if ep.state == breakerHalfOpen || ep.consecFails >= p.cfg.BreakerThreshold {
 		p.transitionLocked(ep, breakerOpen)
-		ep.openedAt = time.Now()
+		ep.openedAt = p.cfg.Clock()
 	}
 }
 
@@ -352,7 +359,7 @@ func (p *remotePool) pingLoop() {
 		}
 		p.mu.Lock()
 		eps := append([]*endpoint(nil), p.eps...)
-		now := time.Now()
+		now := p.cfg.Clock()
 		var probes []*endpoint
 		for _, ep := range eps {
 			// probe everything except open breakers still cooling down

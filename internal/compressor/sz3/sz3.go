@@ -69,6 +69,7 @@ func getCodesBuf(n int) []int32 {
 	if cap(b) < n {
 		return make([]int32, n)
 	}
+	//lint:ignore pressiovet/poolescape ownership-transfer accessor: callers pair with putCodesBuf, matching the pool's Get/Put contract
 	return b[:n]
 }
 
@@ -77,6 +78,7 @@ func getF64Buf(n int) []float64 {
 	if cap(b) < n {
 		return make([]float64, n)
 	}
+	//lint:ignore pressiovet/poolescape ownership-transfer accessor: callers pair with putF64Buf, matching the pool's Get/Put contract
 	return b[:n]
 }
 

@@ -464,6 +464,7 @@ var scratchPools [4]sync.Pool
 
 func getScratch(nd int) *scratch {
 	if sc, ok := scratchPools[nd].Get().(*scratch); ok {
+		//lint:ignore pressiovet/poolescape ownership-transfer accessor: callers pair with putScratch, matching the pool's Get/Put contract
 		return sc
 	}
 	return newScratch(nd)

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/xtools/analysis"
+)
+
+// funcDecls maps every function and method object declared in the pass's
+// package to its syntax, so analyzers can walk bodies transitively.
+func funcDecls(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// maxCallDepth bounds the transitive walk through same-package helpers;
+// the repo convention is one or two levels of defaulting helpers
+// (Options → bins(), Configuration → invalidate(...)).
+const maxCallDepth = 5
+
+// visitTransitive invokes visit(fn, node) for every node in fn's body
+// and, transitively, in the bodies of same-package functions and methods
+// it calls, up to maxCallDepth. Each function is visited once.
+func visitTransitive(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, fn *ast.FuncDecl, visit func(*ast.FuncDecl, ast.Node)) {
+	seen := map[*ast.FuncDecl]bool{}
+	var walk func(fd *ast.FuncDecl, depth int)
+	walk = func(fd *ast.FuncDecl, depth int) {
+		if fd == nil || fd.Body == nil || seen[fd] || depth > maxCallDepth {
+			return
+		}
+		seen[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n != nil {
+				visit(fd, n)
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeObj(pass.TypesInfo, call); callee != nil {
+					walk(decls[callee], depth+1)
+				}
+			}
+			return true
+		})
+	}
+	walk(fn, 0)
+}
+
+// constStringsIn collects every constant-folded string value appearing
+// in the transitive closure of fn (call-site arguments included, since
+// they appear in caller bodies).
+func constStringsIn(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	visitTransitive(pass, decls, fn, func(_ *ast.FuncDecl, n ast.Node) {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+			if s, ok := stringConst(tv); ok {
+				out[s] = true
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/xtools/analysis"
+)
+
+// ignorePrefix is the directive that suppresses a pressiovet diagnostic:
+//
+//	//lint:ignore pressiovet/<analyzer> <justification>
+//	//lint:ignore pressiovet <justification>        (all analyzers)
+//
+// placed on the flagged line or the line immediately above it. The
+// justification is mandatory: a bare directive suppresses nothing, so
+// every escape carries its reason in the source.
+const ignorePrefix = "//lint:ignore "
+
+// ignoreIndex records, per file line, which analyzers are suppressed
+// there. It is rebuilt once per (analyzer, package) pass.
+type ignoreIndex struct {
+	name string // analyzer name, e.g. "ctxflow"
+	fset *token.FileSet
+	// suppressed["file:line"] is true when a well-formed directive on
+	// that line or the line above covers this analyzer.
+	suppressed map[string]bool
+}
+
+// newIgnoreIndex scans every comment in the pass for ignore directives
+// covering analyzer name.
+func newIgnoreIndex(pass *analysis.Pass, name string) *ignoreIndex {
+	idx := &ignoreIndex{name: name, fset: pass.Fset, suppressed: map[string]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				scope, reason, _ := strings.Cut(rest, " ")
+				if strings.TrimSpace(reason) == "" {
+					continue // justification mandatory
+				}
+				if scope != "pressiovet" && scope != "pressiovet/"+name {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				// the directive covers its own line (trailing comment)
+				// and the line below it (comment-above style)
+				idx.suppressed[key(pos.Filename, pos.Line)] = true
+				idx.suppressed[key(pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+	return idx
+}
+
+func key(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// reportf emits a diagnostic unless an ignore directive covers pos.
+func (idx *ignoreIndex) reportf(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	p := idx.fset.Position(pos)
+	if idx.suppressed[key(p.Filename, p.Line)] {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// inTestFile reports whether pos lies in a _test.go file; the analyzers
+// that police library code skip tests (a test harness may legitimately
+// originate contexts and clocks).
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pkgPathMatches reports whether path ends with one of the scope
+// suffixes (comma-separated). Matching by suffix keeps the analyzers
+// usable both on this module ("repro/internal/queue") and on fixture
+// modules ("brokenvet/internal/queue").
+func pkgPathMatches(path, suffixes string) bool {
+	for _, suf := range strings.Split(suffixes, ",") {
+		suf = strings.TrimSpace(suf)
+		if suf == "" {
+			continue
+		}
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObj resolves the called function or method object of a call
+// expression, or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the function pkgPath.name, where
+// pkgPath is matched exactly ("time", "context", "math/rand").
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isPressioOptions reports whether t is the named type Options from the
+// pressio package (matched by path suffix so fixture stubs qualify).
+func isPressioOptions(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Options" || obj.Pkg() == nil {
+		return false
+	}
+	return pkgPathMatches(obj.Pkg().Path(), "internal/pressio")
+}

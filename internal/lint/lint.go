@@ -1,0 +1,41 @@
+// Package lint holds pressiovet, the repo's static-analysis suite: five
+// golang.org/x/tools/go/analysis analyzers that mechanically enforce
+// invariants the compiler cannot see but the paper's correctness story
+// depends on (DESIGN.md §11):
+//
+//   - opthashcomplete: every exported field of a struct whose Options()
+//     feeds opthash.Hash is reachable by the hasher, so new fields cannot
+//     silently fall out of checkpoint keys (§4.3 stable indexing).
+//   - invalidatedecl: every metric plugin registration declares at least
+//     one predictors:invalidate class, so stale predictions are evicted
+//     (§4.2 invalidation metadata).
+//   - poolescape: values obtained from sync.Pool scratch are not retained
+//     past Put or returned to callers (DESIGN.md §10 pooled kernels).
+//   - ctxflow: no context.Background()/TODO() inside queue/serve/bench
+//     library code; ctx is the first parameter (resilience, §8).
+//   - detrand: no bare time.Now()/global math/rand in replay-sensitive
+//     paths, keeping seeded fault plans deterministic (§8).
+//
+// The suite is driven by cmd/pressiovet through the go vet -vettool
+// protocol (`make lint`). Intentional violations are suppressed with
+//
+//	//lint:ignore pressiovet/<analyzer> <justification>
+//
+// on, or on the line above, the flagged line; the justification is
+// mandatory — a directive without one does not suppress anything.
+package lint
+
+import "repro/internal/xtools/analysis"
+
+// Analyzers returns the full pressiovet suite in stable order. This is
+// the single registration point: cmd/pressiovet drives exactly this set,
+// and the meta-test in lint_test.go pins its contents.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		OptHashComplete,
+		InvalidateDecl,
+		PoolEscape,
+		CtxFlow,
+		DetRand,
+	}
+}

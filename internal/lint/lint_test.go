@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestAnalyzerSet pins the suite: adding or removing an analyzer must be
+// a deliberate, reviewed change (and documented in DESIGN.md §11).
+func TestAnalyzerSet(t *testing.T) {
+	want := []string{"ctxflow", "detrand", "invalidatedecl", "opthashcomplete", "poolescape"}
+	var got []string
+	for _, a := range lint.Analyzers() {
+		got = append(got, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("analyzer set = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("analyzer set = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOptHashComplete(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lint.OptHashComplete, "opthash/a")
+}
+
+func TestInvalidateDecl(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lint.InvalidateDecl, "invalid/a")
+}
+
+func TestPoolEscape(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lint.PoolEscape, "pool/a")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lint.CtxFlow,
+		"scope/internal/queue", "scope/internal/other")
+}
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lint.DetRand,
+		"scope/internal/faultinject", "scope/internal/timing")
+}

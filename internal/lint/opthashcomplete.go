@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/xtools/analysis"
+)
+
+const opthashcompleteDoc = `require every exported field to be reachable from Options()
+
+Checkpoint keys and model-registry keys are opthash digests of the
+pressio.Options structures that Options() methods build (paper §4.3).
+A field added to a compressor, metric, or predictor struct but not
+folded into its Options() silently falls out of the checkpoint key:
+two differently-configured runs then collide on one cached result.
+
+For every method "func (T) Options() pressio.Options" on a struct type,
+this analyzer requires each exported non-embedded field of T to be read
+somewhere in Options() or in the same-package helpers it calls.
+Deliberately unhashed fields (pure runtime knobs) carry
+//lint:ignore pressiovet/opthashcomplete on the field.`
+
+// OptHashComplete is the opthashcomplete analyzer.
+var OptHashComplete = &analysis.Analyzer{
+	Name: "opthashcomplete",
+	Doc:  opthashcompleteDoc,
+	Run:  runOptHashComplete,
+}
+
+func runOptHashComplete(pass *analysis.Pass) (any, error) {
+	idx := newIgnoreIndex(pass, "opthashcomplete")
+	decls := funcDecls(pass)
+	for _, fd := range decls {
+		named, ok := optionsMethodReceiver(pass, fd)
+		if !ok {
+			continue
+		}
+		checkOptionsComplete(pass, idx, decls, fd, named)
+	}
+	return nil, nil
+}
+
+// optionsMethodReceiver matches "func (recv T|*T) Options() pressio.Options"
+// where T is a named struct type, returning T.
+func optionsMethodReceiver(pass *analysis.Pass, fd *ast.FuncDecl) (*types.Named, bool) {
+	if fd.Recv == nil || fd.Name.Name != "Options" || fd.Body == nil {
+		return nil, false
+	}
+	ft := fd.Type
+	if ft.Params.NumFields() != 0 || ft.Results.NumFields() != 1 {
+		return nil, false
+	}
+	if !isPressioOptions(pass.TypesInfo.TypeOf(ft.Results.List[0].Type)) {
+		return nil, false
+	}
+	recv := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, false
+	}
+	return named, true
+}
+
+func checkOptionsComplete(pass *analysis.Pass, idx *ignoreIndex, decls map[types.Object]*ast.FuncDecl, fd *ast.FuncDecl, named *types.Named) {
+	st := named.Underlying().(*types.Struct)
+
+	// the exported non-embedded fields the hasher must reach
+	want := map[*types.Var]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Exported() && !f.Embedded() {
+			want[f] = true
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+
+	// fields read anywhere in the transitive closure of Options(); if a
+	// receiver is ever used as a whole value (copied or passed on), all
+	// fields are conservatively considered reachable.
+	reached := map[*types.Var]bool{}
+	wholeCopy := false
+	visitTransitive(pass, decls, fd, func(owner *ast.FuncDecl, n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					reached[v] = true
+				}
+			}
+		case *ast.Ident:
+			if recvObj := receiverObj(pass, owner); recvObj != nil &&
+				objOf(pass.TypesInfo, n) == recvObj && !isSelectorBase(owner, n) {
+				wholeCopy = true
+			}
+		}
+	})
+	if wholeCopy {
+		return
+	}
+
+	for f := range want {
+		if !reached[f] {
+			idx.reportf(pass, f.Pos(),
+				"exported field %s.%s is not reachable from Options(): it will silently fall out of opthash checkpoint keys (fold it into Options() or lint:ignore with justification)",
+				named.Obj().Name(), f.Name())
+		}
+	}
+}
+
+// receiverObj returns the object of fd's receiver variable, or nil.
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// isSelectorBase reports whether id appears as the X of a selector
+// expression within fd (i.e. "m" in "m.Field" or "m.helper()") — the
+// benign use that must not trigger the whole-copy bailout.
+func isSelectorBase(fd *ast.FuncDecl, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if se, ok := n.(*ast.SelectorExpr); ok {
+			if base, ok := ast.Unparen(se.X).(*ast.Ident); ok && base == id {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

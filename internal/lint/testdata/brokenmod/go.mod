@@ -1,0 +1,3 @@
+module brokenvet
+
+go 1.22

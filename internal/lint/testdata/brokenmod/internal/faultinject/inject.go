@@ -1,0 +1,10 @@
+// Package faultinject violates detrand: a bare wall-clock read in
+// replay-sensitive code.
+package faultinject
+
+import "time"
+
+// Stamp reads the real clock instead of an injected one.
+func Stamp() time.Time {
+	return time.Now() // detrand violation
+}

@@ -1,0 +1,20 @@
+// Package metrics violates invalidatedecl: a registered metric whose
+// Configuration never declares an invalidation class.
+package metrics
+
+import "brokenvet/internal/pressio"
+
+type silent struct{}
+
+func (s *silent) Name() string { return "silent" }
+
+// Configuration exists but never sets predictors:invalidate.
+func (s *silent) Configuration() pressio.Options {
+	o := pressio.Options{}
+	o.Set("metrics:description", "declares nothing about invalidation")
+	return o
+}
+
+func init() {
+	pressio.RegisterMetric("silent", func() pressio.Metric { return &silent{} })
+}

@@ -1,0 +1,18 @@
+// Package model violates opthashcomplete: an exported field that never
+// reaches the Options map feeding the checkpoint hash.
+package model
+
+import "brokenvet/internal/pressio"
+
+// Knobs configures a model; Epochs silently never reaches Options.
+type Knobs struct {
+	Rate   float64
+	Epochs int // opthashcomplete violation: absent from Options()
+}
+
+// Options feeds the checkpoint hash.
+func (k *Knobs) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set("model:rate", k.Rate)
+	return o
+}

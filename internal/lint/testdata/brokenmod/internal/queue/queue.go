@@ -1,0 +1,12 @@
+// Package queue violates ctxflow: library code detaching from the
+// caller's context.
+package queue
+
+import "context"
+
+// Drain processes pending work with a context it invented itself.
+func Drain() error {
+	ctx := context.Background() // ctxflow violation
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,15 @@
+// Package scratch violates poolescape: a pooled buffer returned after
+// being surrendered to the pool.
+package scratch
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// Render leaks its pooled buffer to the caller after Put.
+func Render(msg string) []byte {
+	b := bufs.Get().([]byte)
+	b = append(b[:0], msg...)
+	bufs.Put(b)
+	return b // poolescape violation
+}

@@ -1,0 +1,75 @@
+// Package a exercises invalidatedecl: every RegisterMetric call must
+// resolve to a type whose Configuration declares predictors:invalidate
+// with at least one invalidation class.
+package a
+
+import "repro/internal/pressio"
+
+func init() {
+	pressio.RegisterMetric("good", func() pressio.Metric { return &Good{} })
+	pressio.RegisterMetric("helper", func() pressio.Metric { return &Helper{} })
+	pressio.RegisterMetric("missing", func() pressio.Metric { return &Missing{} })   // want `Configuration never sets predictors:invalidate`
+	pressio.RegisterMetric("keysonly", func() pressio.Metric { return &KeysOnly{} }) // want `lists no invalidation class`
+	pressio.RegisterMetric("noconf", func() pressio.Metric { return &NoConf{} })     // want `no reachable Configuration method`
+	//lint:ignore pressiovet/invalidatedecl fixture for the documented escape hatch
+	pressio.RegisterMetric("excused", func() pressio.Metric { return &NoConf{} })
+}
+
+// Good declares a class directly.
+type Good struct{}
+
+func (*Good) Name() string { return "good" }
+
+// Configuration declares error_dependent plus an option key.
+func (*Good) Configuration() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.CfgInvalidate, []string{pressio.OptAbs, pressio.InvalidateErrorDependent})
+	return o
+}
+
+// Helper declares its class through a same-package helper, the repo's
+// dominant idiom.
+type Helper struct{}
+
+func (*Helper) Name() string { return "helper" }
+
+// Configuration goes through invalidate().
+func (*Helper) Configuration() pressio.Options {
+	return invalidate(pressio.InvalidateErrorAgnostic)
+}
+
+func invalidate(keys ...string) pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.CfgInvalidate, keys)
+	return o
+}
+
+// Missing has a Configuration that never touches invalidation.
+type Missing struct{}
+
+func (*Missing) Name() string { return "missing" }
+
+// Configuration sets unrelated metadata only.
+func (*Missing) Configuration() pressio.Options {
+	o := pressio.Options{}
+	o.Set("missing:stable", true)
+	return o
+}
+
+// KeysOnly lists option keys but pins no invalidation class, so the
+// eviction machinery cannot classify it.
+type KeysOnly struct{}
+
+func (*KeysOnly) Name() string { return "keysonly" }
+
+// Configuration lists only an option key.
+func (*KeysOnly) Configuration() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.CfgInvalidate, []string{pressio.OptAbs})
+	return o
+}
+
+// NoConf forgot Configuration entirely.
+type NoConf struct{}
+
+func (*NoConf) Name() string { return "noconf" }

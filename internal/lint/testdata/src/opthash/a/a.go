@@ -1,0 +1,79 @@
+// Package a exercises opthashcomplete: every exported field of a struct
+// with an Options() pressio.Options method must be reachable from it.
+package a
+
+import "repro/internal/pressio"
+
+// Complete reaches one field directly and one through a helper.
+type Complete struct {
+	Abs  float64
+	Bins int
+
+	cached int
+}
+
+// Options covers every exported field.
+func (m *Complete) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.OptAbs, m.Abs)
+	o.Set("a:bins", m.bins())
+	return o
+}
+
+func (m *Complete) bins() int {
+	if m.Bins <= 0 {
+		return 64
+	}
+	return m.Bins
+}
+
+// Incomplete drops a field from the hash.
+type Incomplete struct {
+	Abs    float64
+	Hidden int // want `exported field Incomplete\.Hidden is not reachable from Options`
+}
+
+// Options forgets Hidden.
+func (m *Incomplete) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.OptAbs, m.Abs)
+	return o
+}
+
+// Tuned demonstrates the sanctioned escape for a deliberate exclusion.
+type Tuned struct {
+	Abs float64
+	//lint:ignore pressiovet/opthashcomplete runtime placement knob, deliberately unhashed
+	Threads int
+}
+
+// Options excludes Threads on purpose (see lint:ignore above).
+func (m *Tuned) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set(pressio.OptAbs, m.Abs)
+	return o
+}
+
+// Copied hands the whole receiver to a helper; all fields count as
+// reachable (conservative whole-copy bailout).
+type Copied struct {
+	A int
+	B int
+}
+
+// Options passes the receiver by value.
+func (m Copied) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set("copied:flat", flatten(m))
+	return o
+}
+
+func flatten(c Copied) []int64 { return []int64{int64(c.A), int64(c.B)} }
+
+// NotOptions has the wrong signature and is out of scope.
+type NotOptions struct {
+	Ignored int
+}
+
+// Options here returns something other than pressio.Options.
+func (m *NotOptions) Options() map[string]any { return nil }

@@ -1,0 +1,89 @@
+// Package a exercises poolescape: sync.Pool scratch must not be
+// retained past Put or returned to callers.
+package a
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+func returnAfterPut() []byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	return b // want `pooled b is returned after being Put back`
+}
+
+func deferReturn() []byte {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	return b // want `pooled b is returned after being Put back`
+}
+
+func useAfterPut() byte {
+	b := bufPool.Get().([]byte)
+	b = append(b, 1)
+	bufPool.Put(b)
+	x := b[0] // want `pooled b used after Put`
+	return x
+}
+
+type holder struct {
+	buf []byte
+}
+
+func (h *holder) storeField() {
+	b := bufPool.Get().([]byte)
+	h.buf = b // want `pooled b stored in field buf`
+	bufPool.Put(b)
+}
+
+var retained []byte
+
+func storeGlobal() {
+	b := bufPool.Get().([]byte)
+	retained = b // want `pooled b stored in package-level retained`
+	bufPool.Put(b)
+}
+
+func accessor() []byte {
+	b := bufPool.Get().([]byte)
+	return b // want `pooled b escapes via return`
+}
+
+func accessorExcused() []byte {
+	b := bufPool.Get().([]byte)
+	//lint:ignore pressiovet/poolescape ownership transfers to the caller; paired with a Put accessor
+	return b
+}
+
+// snapshot copies out of the pooled buffer before returning: fine.
+func snapshot() []byte {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	return append([]byte(nil), b...)
+}
+
+// rebind re-arms the variable with a fresh Get after a Put.
+func rebind() byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	b = bufPool.Get().([]byte)
+	x := byte(0)
+	if len(b) > 0 {
+		x = b[0]
+	}
+	bufPool.Put(b)
+	return x
+}
+
+// local aggregation into function-local slices stays legal.
+func localUse() int {
+	b := bufPool.Get().([]byte)
+	total := 0
+	for _, v := range b {
+		total += int(v)
+	}
+	parts := make([][]byte, 1)
+	parts[0] = b
+	bufPool.Put(b)
+	return total
+}

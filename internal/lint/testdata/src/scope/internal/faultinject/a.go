@@ -1,0 +1,37 @@
+// Package faultinject exercises detrand inside a scoped package.
+package faultinject
+
+import (
+	"math/rand"
+	"time"
+)
+
+// now is the sanctioned injection point: a value reference to time.Now,
+// not a call, replaceable by a fake clock in tests.
+var now = time.Now
+
+func bad() time.Time {
+	return time.Now() // want `bare time\.Now\(\) in replay-sensitive code`
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func badRand() int {
+	return rand.Intn(10) // want `global math/rand source in replay-sensitive code`
+}
+
+func goodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func goodClock(start time.Time) time.Duration {
+	return now().Sub(start)
+}
+
+func excused() time.Time {
+	//lint:ignore pressiovet/detrand fixture: wall-clock timestamp for human-facing logs only
+	return time.Now()
+}

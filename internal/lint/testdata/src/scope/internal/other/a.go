@@ -1,0 +1,11 @@
+// Package other is outside ctxflow's scope: Background here is legal.
+package other
+
+import "context"
+
+// Root originates a context, as top-level code may.
+func Root() context.Context {
+	return context.Background()
+}
+
+func alsoFine(n int, ctx context.Context) { _ = n }

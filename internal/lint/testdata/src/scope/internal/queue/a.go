@@ -1,0 +1,30 @@
+// Package queue exercises ctxflow inside a scoped package (its import
+// path ends in internal/queue).
+package queue
+
+import "context"
+
+// Run is the good shape: ctx first, passed through.
+func Run(ctx context.Context, n int) error {
+	return step(ctx, n)
+}
+
+func step(ctx context.Context, n int) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func detached() {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	_ = ctx
+	_ = context.TODO() // want `context\.TODO\(\) in library code`
+}
+
+func badOrder(n int, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_ = n
+}
+
+func excused() context.Context {
+	//lint:ignore pressiovet/ctxflow fixture: deliberate detachment point with a reason
+	return context.Background()
+}

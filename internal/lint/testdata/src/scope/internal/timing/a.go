@@ -1,0 +1,7 @@
+// Package timing is outside detrand's scope: wall-clock reads are legal.
+package timing
+
+import "time"
+
+// Stamp reads the real clock, as unscoped code may.
+func Stamp() time.Time { return time.Now() }

@@ -96,7 +96,9 @@ func (m *External) Options() pressio.Options {
 	o := pressio.Options{}
 	o.Set(OptExternalCommand, m.Command)
 	o.Set(OptExternalArgs, append([]string(nil), m.Args...))
+	o.Set(OptExternalInvalidate, append([]string(nil), m.Invalidate...))
 	o.Set(OptExternalTimeoutMS, m.timeout())
+	o.Set(pressio.OptAbs, m.Abs)
 	return o
 }
 

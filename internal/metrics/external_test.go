@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/opthash"
 	"repro/internal/pressio"
 )
 
@@ -133,5 +134,35 @@ func TestExternalInvalidateOverride(t *testing.T) {
 	bad.Set(OptExternalTimeoutMS, 0)
 	if err := m.SetOptions(bad); err == nil {
 		t.Error("zero timeout accepted")
+	}
+}
+
+// TestExternalOptionsGolden pins the opthash digest of a configured
+// External metric's Options(). The digest changed when Options() was
+// audited against the struct: Invalidate and Abs previously fell out of
+// the option map, so two runs differing only in invalidation override or
+// error bound collapsed onto one checkpoint key. Including them orphans
+// old external-metric checkpoint entries once — deliberately (see
+// CHANGES.md); treat any further diff here as a breaking change.
+func TestExternalOptionsGolden(t *testing.T) {
+	m := &External{}
+	opts := pressio.Options{}
+	opts.Set(OptExternalCommand, "/usr/bin/env")
+	opts.Set(OptExternalArgs, []string{"python3", "metric.py"})
+	opts.Set(OptExternalInvalidate, []string{pressio.InvalidateErrorDependent})
+	opts.Set(OptExternalTimeoutMS, 1500)
+	opts.Set(pressio.OptAbs, 1e-4)
+	if err := m.SetOptions(opts); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "4b57251c02958132601e8d06fac87020af366ebe92b1ecdc99de05dfa7863b0f"
+	if got := opthash.HashString(m.Options()); got != golden {
+		t.Errorf("External options hash drifted:\n got %s\nwant %s", got, golden)
+	}
+	for _, key := range []string{OptExternalCommand, OptExternalArgs,
+		OptExternalInvalidate, OptExternalTimeoutMS, pressio.OptAbs} {
+		if _, ok := m.Options()[key]; !ok {
+			t.Errorf("Options() lost key %s", key)
+		}
 	}
 }

@@ -321,6 +321,7 @@ func (q *Queue) cancelPendingLocked(ctx context.Context, inFlight map[*taskState
 // own. Run may be called once.
 func (q *Queue) Run(ctx context.Context) map[string]*Result {
 	if ctx == nil {
+		//lint:ignore pressiovet/ctxflow nil-ctx compatibility guard, not a detachment: callers that pass a ctx keep full cancellation flow
 		ctx = context.Background()
 	}
 	q.mu.Lock()

@@ -275,6 +275,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 			var cerr error
 			// the compute context is detached from the leader's request
 			// so an impatient leader doesn't poison piggybacked callers
+			//lint:ignore pressiovet/ctxflow singleflight leader: shared computation must outlive any one caller; bounded by cfg.Deadline instead
 			cctx, ccancel := context.WithTimeout(context.Background(), s.cfg.Deadline)
 			submitted := s.pool.trySubmit(func() {
 				defer close(done)
@@ -396,6 +397,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
 
 	submitted := s.fitPool.trySubmit(func() {
 		job.setStatus("running", "")
+		//lint:ignore pressiovet/ctxflow async fit job survives the submitting request by design; bounded by 10x deadline instead
 		ctx, cancel := context.WithTimeout(context.Background(), 10*s.cfg.Deadline)
 		defer cancel()
 		if err := s.runFit(ctx, job, &req, opts, scheme); err != nil {
