@@ -1,7 +1,7 @@
 GO ?= go
 PRESSIOVET := bin/pressiovet
 
-.PHONY: build test check lint fmt-check serve-check stress bench bench-baseline bench-check clean
+.PHONY: build test check lint fmt-check serve-check crash-check stress bench bench-baseline bench-check clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ check: fmt-check
 	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test -race -short ./...
+	$(MAKE) crash-check
 ifdef BENCH
 	$(MAKE) bench-check
 endif
@@ -46,6 +47,13 @@ serve-check:
 	$(GO) vet ./internal/serve/ ./cmd/predictd/
 	$(GO) build -o /dev/null ./cmd/predictd/
 	$(GO) test -race ./internal/serve/
+
+# crash-check runs the kill-restart recovery harness (DESIGN.md §12)
+# under the race detector: every cataloged crash point, the torn compact
+# rename, the fixed-seed randomized sweep, and the journal-loss negative
+# control. Plans are seeded, so a failure reproduces from the log alone.
+crash-check:
+	$(GO) test -race -run 'TestKillRestart|TestCrashDuringCompactRename|TestCrashHarnessCatchesJournalLoss' ./internal/serve/ -v
 
 stress:
 	$(GO) test -race -run TestStress ./internal/queue/ -v

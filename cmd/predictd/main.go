@@ -16,8 +16,15 @@
 //	GET  /v1/jobs/{id}   job status
 //	GET  /v1/models      registry listing
 //	POST /v1/invalidate  predictors:invalidate-driven eviction
-//	GET  /healthz        liveness (503 while draining)
+//	GET  /healthz        liveness (503 while draining or replaying the journal)
 //	GET  /statz          counters and latency quantiles
+//
+// On startup the daemon replays the durable fit-job journal in the
+// background: interrupted jobs are re-enqueued, and /healthz answers 503
+// until the replay completes. `predictd -fsck` runs storecheck over the
+// store directory instead of serving: it validates record CRCs, truncates
+// a torn WAL tail, sweeps stale compact temps, prints the report, and
+// exits (non-zero if the store is corrupt beyond safe repair).
 //
 // SIGTERM/SIGINT drain gracefully: the listener stops, in-flight
 // predictions and training jobs finish, and the store is closed.
@@ -52,23 +59,38 @@ func main() {
 		deadline   = flag.Duration("deadline", 30*time.Second, "per-request compute deadline")
 		fitWorkers = flag.Int("fit-workers", 1, "training worker pool size")
 		fitQueue   = flag.Int("fit-queue", 8, "training queue depth")
+		jobTTL     = flag.Duration("job-ttl", time.Hour, "how long finished fit jobs stay queryable")
+		jobRetain  = flag.Int("job-retain", 256, "max finished fit jobs retained")
+		fsync      = flag.Bool("fsync", true, "fsync the store WAL after every append")
+		fsck       = flag.Bool("fsck", false, "run storecheck on the store directory, repair what is safe, and exit")
 		optsFlag   = flag.String("opts", "", "default options merged under every request, key=value[,key=value...]")
 	)
 	flag.Parse()
-	if err := run(*addr, *storeDir, *optsFlag, serve.Config{
+	if *fsck {
+		rep, err := store.Fsck(*storeDir, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predictd:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		return
+	}
+	if err := run(*addr, *storeDir, *optsFlag, *fsync, serve.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheSize:     *cacheSize,
 		Deadline:      *deadline,
 		FitWorkers:    *fitWorkers,
 		FitQueueDepth: *fitQueue,
+		JobTTL:        *jobTTL,
+		JobRetain:     *jobRetain,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "predictd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir, optsFlag string, cfg serve.Config) error {
+func run(addr, storeDir, optsFlag string, fsync bool, cfg serve.Config) error {
 	if optsFlag != "" {
 		opts, err := defaultOptions(optsFlag)
 		if err != nil {
@@ -82,6 +104,7 @@ func run(addr, storeDir, optsFlag string, cfg serve.Config) error {
 		return err
 	}
 	defer st.Close()
+	st.Sync = fsync
 
 	srv, err := serve.New(st, cfg)
 	if err != nil {
@@ -92,6 +115,17 @@ func run(addr, storeDir, optsFlag string, cfg serve.Config) error {
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// replay the fit-job journal while the listener comes up; /healthz and
+	// /v1/fit answer 503 until the replay lands, so a load balancer holds
+	// traffic without the daemon delaying its bind
+	go func() {
+		if err := srv.Recover(ctx); err != nil {
+			log.Printf("predictd: journal replay: %v", err)
+			return
+		}
+		log.Print("predictd: journal replay complete")
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, fs *ErrFS, name string, data []byte) (int, error) {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	return f.Write(data)
+}
+
+func TestErrFSShortWriteLandsTornPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewErrFS(dir, New(1, Rule{Op: OpFSWrite, Kind: KindShort, Worker: -1, At: 2, Count: 1}))
+	name := filepath.Join(dir, "wal.log")
+
+	if _, err := writeAll(t, fs, name, []byte("aaaa")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := writeAll(t, fs, name, []byte("bbbb"))
+	if !errors.Is(err, ErrShortWrite) || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("second write = %d, %v; want short write", n, err)
+	}
+	if n != 2 {
+		t.Errorf("short write landed %d bytes, want 2", n)
+	}
+	raw, _ := os.ReadFile(name)
+	if string(raw) != "aaaabb" {
+		t.Errorf("file = %q, want torn prefix appended", raw)
+	}
+	// the "process" is still alive: the next write succeeds
+	if _, err := writeAll(t, fs, name, []byte("cc")); err != nil {
+		t.Errorf("write after short write: %v", err)
+	}
+}
+
+func TestErrFSENOSPCMatchesSyscall(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewErrFS(dir, New(1, Rule{Op: OpFSWrite, Kind: KindENOSPC, Worker: -1}))
+	_, err := writeAll(t, fs, filepath.Join(dir, "f"), []byte("data"))
+	if !errors.Is(err, ErrNoSpace) || !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v; want ENOSPC wrapping ErrInjected", err)
+	}
+}
+
+func TestErrFSSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewErrFS(dir, New(1, Rule{Op: OpFSSync, Kind: KindError, Worker: -1, Key: "wal"}))
+	f, err := fs.OpenFile(filepath.Join(dir, "wal.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync = %v, want injected error", err)
+	}
+}
+
+// TestErrFSCrashFreezesState crashes on the third write and checks the
+// frozen copy holds exactly the pre-crash state plus the torn prefix,
+// while the live fs refuses everything afterwards.
+func TestErrFSCrashFreezesState(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewErrFS(dir, New(1, Rule{Op: OpFSWrite, Kind: KindCrash, Worker: -1, At: 3}))
+	name := filepath.Join(dir, "wal.log")
+
+	writeAll(t, fs, name, []byte("1111"))
+	writeAll(t, fs, name, []byte("2222"))
+	n, err := writeAll(t, fs, name, []byte("3333"))
+	if !errors.Is(err, ErrCrash) || n != 2 {
+		t.Fatalf("crash write = %d, %v", n, err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs should be dead after crash")
+	}
+	frozen := fs.FrozenDir()
+	if frozen == "" {
+		t.Fatal("no frozen dir after crash")
+	}
+	raw, err := os.ReadFile(filepath.Join(frozen, "wal.log"))
+	if err != nil || string(raw) != "1111222233" {
+		t.Fatalf("frozen wal = %q, %v; want pre-crash state + torn prefix", raw, err)
+	}
+
+	// every post-crash operation fails
+	if _, err := fs.ReadFile(name); !errors.Is(err, ErrCrash) {
+		t.Errorf("ReadFile after crash = %v", err)
+	}
+	if err := fs.Rename(name, name+"x"); !errors.Is(err, ErrCrash) {
+		t.Errorf("Rename after crash = %v", err)
+	}
+	if _, err := fs.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644); !errors.Is(err, ErrCrash) {
+		t.Errorf("open after crash = %v", err)
+	}
+	// the live file did not grow past the freeze point
+	live, _ := os.ReadFile(name)
+	if string(live) != "1111222233" {
+		t.Errorf("live wal mutated after crash: %q", live)
+	}
+}
+
+// TestErrFSManualFreeze covers the harness path for crashes fired above
+// the seam: Freeze() snapshots the current state and kills the fs.
+func TestErrFSManualFreeze(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewErrFS(dir, nil) // nil plan: no injected faults
+	name := filepath.Join(dir, "snapshot.db")
+	if _, err := writeAll(t, fs, name, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := fs.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(frozen, "snapshot.db"))
+	if err != nil || string(raw) != "snap" {
+		t.Fatalf("frozen copy = %q, %v", raw, err)
+	}
+	if again, _ := fs.Freeze(); again != frozen {
+		t.Errorf("second Freeze = %q, want idempotent %q", again, frozen)
+	}
+	if _, err := fs.OpenFile(name, os.O_WRONLY, 0o644); !errors.Is(err, ErrCrash) {
+		t.Errorf("open after manual freeze = %v", err)
+	}
+}
+
+// TestErrFSRenameFault tears a compact-style rename: the temp file
+// stays, the target is never replaced.
+func TestErrFSRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewErrFS(dir, New(1, Rule{Op: OpFSRename, Kind: KindCrash, Worker: -1}))
+	tmp := filepath.Join(dir, "snapshot.db.0.tmp")
+	writeAll(t, fs, tmp, []byte("new"))
+	err := fs.Rename(tmp, filepath.Join(dir, "snapshot.db"))
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("Rename = %v, want crash", err)
+	}
+	frozen := fs.FrozenDir()
+	if _, err := os.Stat(filepath.Join(frozen, "snapshot.db.0.tmp")); err != nil {
+		t.Errorf("frozen state should hold the orphaned temp: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(frozen, "snapshot.db")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("torn rename must not produce the target: %v", err)
+	}
+}
+
+func TestParseFSRules(t *testing.T) {
+	p, err := Parse(7, "fs-write enospc key=wal.log at=3; fs-sync error\nfs-rename crash count=1; fs-write short rate=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := p.Rules()
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	if rules[0].Op != OpFSWrite || rules[0].Kind != KindENOSPC || rules[0].At != 3 {
+		t.Errorf("rule 0 = %+v", rules[0])
+	}
+	if rules[2].Op != OpFSRename || rules[2].Kind != KindCrash {
+		t.Errorf("rule 2 = %+v", rules[2])
+	}
+	if _, err := Parse(1, "fs-write bogus"); err == nil {
+		t.Error("unknown kind should fail to parse")
+	}
+}

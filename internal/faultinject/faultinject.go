@@ -27,9 +27,11 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -47,12 +49,25 @@ const (
 	OpCompactAfter  Op = "compact-after"  // store: renamed, before the WAL truncate
 )
 
+// Fault points of the filesystem seam (errfs over vfs.FS); key is the
+// file path ("old -> new" for renames).
+const (
+	OpFSOpen     Op = "fs-open"     // OpenFile / ReadFile
+	OpFSWrite    Op = "fs-write"    // File.Write
+	OpFSSync     Op = "fs-sync"     // File.Sync / FS.SyncDir
+	OpFSRename   Op = "fs-rename"   // FS.Rename
+	OpFSRemove   Op = "fs-remove"   // FS.Remove
+	OpFSTruncate Op = "fs-truncate" // FS.Truncate / File.Truncate
+)
+
 // Fault kinds.
 const (
-	KindError = "error" // the operation fails with ErrInjected
-	KindDelay = "delay" // the operation is delayed (straggler)
-	KindReset = "reset" // a connection-level failure (pool drops the client)
-	KindCrash = "crash" // the process "dies" here (store leaves partial state)
+	KindError  = "error"  // the operation fails with ErrInjected
+	KindDelay  = "delay"  // the operation is delayed (straggler)
+	KindReset  = "reset"  // a connection-level failure (pool drops the client)
+	KindCrash  = "crash"  // the process "dies" here (store leaves partial state)
+	KindShort  = "short"  // fs-write only: a torn prefix lands, then io.ErrShortWrite
+	KindENOSPC = "enospc" // the device is "full": partial write + ENOSPC
 )
 
 // ErrInjected is the base error of every injected failure; match it with
@@ -64,6 +79,14 @@ var ErrCrash = fmt.Errorf("%w (crash)", ErrInjected)
 
 // ErrReset marks a reset-kind injection; it wraps ErrInjected.
 var ErrReset = fmt.Errorf("%w (connection reset)", ErrInjected)
+
+// ErrShortWrite marks a short-kind injection: only a prefix of the
+// buffer landed. It wraps both ErrInjected and io.ErrShortWrite.
+var ErrShortWrite = fmt.Errorf("%w (%w)", ErrInjected, io.ErrShortWrite)
+
+// ErrNoSpace marks an enospc-kind injection; it wraps both ErrInjected
+// and syscall.ENOSPC so callers can match either.
+var ErrNoSpace = fmt.Errorf("%w (%w)", ErrInjected, syscall.ENOSPC)
 
 // Rule scripts one fault. Zero-valued matchers match everything.
 type Rule struct {
@@ -155,7 +178,10 @@ func (p *Plan) Fire(op Op, worker int, key string) Decision {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var d Decision
-	kindRank := map[string]int{KindDelay: 1, KindError: 2, KindReset: 3, KindCrash: 4}
+	kindRank := map[string]int{
+		KindDelay: 1, KindError: 2, KindShort: 3, KindENOSPC: 4,
+		KindReset: 5, KindCrash: 6,
+	}
 	best := 0
 	for _, rs := range p.rules {
 		r := &rs.rule
@@ -193,6 +219,10 @@ func (p *Plan) Fire(op Op, worker int, key string) Decision {
 					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrCrash)
 				case KindReset:
 					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrReset)
+				case KindShort:
+					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrShortWrite)
+				case KindENOSPC:
+					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrNoSpace)
 				default:
 					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrInjected)
 				}
@@ -266,13 +296,14 @@ func Parse(seed uint64, text string) (*Plan, error) {
 		}
 		r := Rule{Op: Op(fields[0]), Worker: -1}
 		switch r.Op {
-		case OpTask, OpDial, OpCall, OpPutBefore, OpPutAfter, OpCompactBefore, OpCompactAfter:
+		case OpTask, OpDial, OpCall, OpPutBefore, OpPutAfter, OpCompactBefore, OpCompactAfter,
+			OpFSOpen, OpFSWrite, OpFSSync, OpFSRename, OpFSRemove, OpFSTruncate:
 		default:
 			return nil, fmt.Errorf("faultinject: unknown op %q", fields[0])
 		}
 		kind, dur, hasDur := strings.Cut(fields[1], "=")
 		switch kind {
-		case KindError, KindReset, KindCrash:
+		case KindError, KindReset, KindCrash, KindShort, KindENOSPC:
 			if hasDur {
 				return nil, fmt.Errorf("faultinject: kind %q takes no value", kind)
 			}
@@ -286,7 +317,7 @@ func Parse(seed uint64, text string) (*Plan, error) {
 			}
 			r.Delay = d
 		default:
-			return nil, fmt.Errorf("faultinject: unknown kind %q (want error|delay|reset|crash)", kind)
+			return nil, fmt.Errorf("faultinject: unknown kind %q (want error|delay|reset|crash|short|enospc)", kind)
 		}
 		r.Kind = kind
 		for _, kv := range fields[2:] {

@@ -179,6 +179,19 @@ func (s *Server) predictorFor(entry *ModelEntry) (core.Predictor, error) {
 // run — fit the predictor, and publish the model to the registry.
 func (s *Server) runFit(ctx context.Context, job *FitJob, req *FitRequest, opts pressio.Options, scheme core.Scheme) error {
 	tr := req.Training
+	key := ModelKey(req.Scheme, req.Compressor, opts, tr)
+	if prev, ok := s.registry.Get(key); ok {
+		// a model for this exact opthash already landed — from a crashed
+		// run whose publish survived, or an identical earlier fit. Adopt
+		// it instead of training again: publish-once per opthash is what
+		// keeps at-least-once journal replay from ever installing two
+		// divergent models under one key.
+		job.mu.Lock()
+		job.samples = prev.Samples
+		job.modelKey = prev.Key
+		job.mu.Unlock()
+		return nil
+	}
 	dims := tr.Dims
 	if len(dims) == 0 {
 		dims = defaultDataDims
@@ -222,7 +235,7 @@ func (s *Server) runFit(ctx context.Context, job *FitJob, req *FitRequest, opts 
 		return err
 	}
 	entry := &ModelEntry{
-		Key:           ModelKey(req.Scheme, req.Compressor, opts, tr),
+		Key:           key,
 		Scheme:        req.Scheme,
 		Compressor:    req.Compressor,
 		PredictorName: p.Name(),

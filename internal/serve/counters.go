@@ -27,6 +27,8 @@ type counters struct {
 	rejected       uint64
 	evictedModels  uint64
 	evictedCached  uint64
+	evictedJobs    uint64
+	journalErrors  uint64
 }
 
 type endpointCounter struct {
@@ -76,6 +78,8 @@ func (c *counters) evicted(models, cached int) {
 	c.evictedCached += uint64(cached)
 	c.mu.Unlock()
 }
+func (c *counters) jobsEvicted(n int) { c.mu.Lock(); c.evictedJobs += uint64(n); c.mu.Unlock() }
+func (c *counters) journalError()     { c.mu.Lock(); c.journalErrors++; c.mu.Unlock() }
 
 // EndpointStats is one endpoint's row in the /statz report.
 type EndpointStats struct {
@@ -90,8 +94,12 @@ type EndpointStats struct {
 type Statz struct {
 	UptimeSeconds  float64                  `json:"uptime_seconds"`
 	Draining       bool                     `json:"draining"`
+	Replaying      bool                     `json:"replaying"`
 	Models         int                      `json:"models"`
 	Jobs           map[string]int           `json:"jobs"`
+	JobsRetained   int                      `json:"jobs_retained"`
+	JobsEvicted    uint64                   `json:"jobs_evicted"`
+	JournalErrors  uint64                   `json:"journal_errors"`
 	Endpoints      map[string]EndpointStats `json:"endpoints"`
 	Schemes        map[string]uint64        `json:"schemes"`
 	CacheHits      uint64                   `json:"cache_hits"`
@@ -118,6 +126,8 @@ func (c *counters) snapshot() Statz {
 		Rejected:       c.rejected,
 		EvictedModels:  c.evictedModels,
 		EvictedCached:  c.evictedCached,
+		JobsEvicted:    c.evictedJobs,
+		JournalErrors:  c.journalErrors,
 	}
 	for name, ep := range c.endpoints {
 		s.Endpoints[name] = EndpointStats{

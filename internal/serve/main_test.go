@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain is the package's goroutine-leak guard: after every test
+// (including the journal replay and drain-during-replay paths) no
+// goroutine may still be parked inside this package — pool workers must
+// have drained, fit jobs finished, singleflight leaders landed. Leaks
+// here are exactly how a "graceful" daemon wedges on SIGTERM.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := leakedServeGoroutines(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %d goroutine(s) leaked from internal/serve:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// leakedServeGoroutines polls until no goroutine has a frame in this
+// package (other than the caller) or the grace period expires; stragglers
+// that are merely slow to exit get the grace, true leaks are reported.
+func leakedServeGoroutines(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := serveGoroutines()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func serveGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "repro/internal/serve.") && !strings.Contains(g, "TestMain") {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -49,6 +49,13 @@ func (p *workerPool) trySubmit(task func()) bool {
 	}
 }
 
+// isClosed reports whether drain has begun (no new work is accepted).
+func (p *workerPool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // drain stops accepting work and blocks until every queued task has run —
 // the graceful-shutdown path.
 func (p *workerPool) drain() {

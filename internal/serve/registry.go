@@ -10,7 +10,6 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/opthash"
 	"repro/internal/predictors"
 	"repro/internal/pressio"
 	"repro/internal/store"
@@ -87,22 +86,10 @@ func OpenRegistry(st *store.Store) (*Registry, error) {
 }
 
 // ModelKey builds the registry key for a (scheme, compressor options,
-// training-set) tuple.
+// training-set) tuple. It shares its hash with JobKey, so the model a
+// journaled fit job will publish is always derivable from the job.
 func ModelKey(scheme, compressor string, opts pressio.Options, training TrainingSpec) string {
-	schemeOpts := pressio.Options{}
-	schemeOpts.Set("serve:scheme", scheme)
-	schemeOpts.Set("serve:compressor", compressor)
-	trainOpts := pressio.Options{}
-	trainOpts.Set("training:fields", append([]string(nil), training.Fields...))
-	trainOpts.Set("training:steps", int64(training.Steps))
-	trainOpts.Set("training:dims", dimsKey(training.Dims))
-	bounds := make([]string, len(training.Bounds))
-	for i, b := range training.Bounds {
-		bounds[i] = fmt.Sprintf("%g", b)
-	}
-	trainOpts.Set("training:bounds", bounds)
-	hash := opthash.Combine(schemeOpts, opts, trainOpts)
-	return modelPrefix + scheme + "/" + compressor + "/" + hash
+	return modelPrefix + scheme + "/" + compressor + "/" + fitHash(scheme, compressor, opts, training)
 }
 
 func dimsKey(dims []int) string {

@@ -79,9 +79,12 @@ type FitRequest struct {
 	Training   TrainingSpec   `json:"training"`
 }
 
-// FitResponse acknowledges a queued training job.
+// FitResponse acknowledges a queued training job. Existing marks an
+// idempotent resubmit: the same (scheme, options, training-set) opthash
+// was already queued, running, or done, and JobID names that job.
 type FitResponse struct {
-	JobID string `json:"job_id"`
+	JobID    string `json:"job_id"`
+	Existing bool   `json:"existing,omitempty"`
 }
 
 // InvalidateRequest declares which compressor options or predictors:*

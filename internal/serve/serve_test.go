@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -15,19 +16,23 @@ import (
 	"repro/internal/store"
 )
 
-// newTestServer builds a Server over a temp store and wraps it in an
-// httptest server.
+// newTestServer builds a Server over a temp store (journal replayed)
+// and wraps it in an httptest server. Pool workers are drained on
+// cleanup so tests leave no goroutines behind.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	st, err := store.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { st.Close() })
 	s, err := New(st, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Drain(); st.Close() })
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,10 +41,25 @@ type Config struct {
 	// DefaultOptions are merged under every request's options (predictd
 	// -opts flag).
 	DefaultOptions pressio.Options
+	// JobTTL bounds how long finished fit jobs stay queryable via
+	// /v1/jobs before eviction (default 1h).
+	JobTTL time.Duration
+	// JobRetain caps how many finished fit jobs are retained regardless
+	// of age (default 256).
+	JobRetain int
+	// DisableJournal keeps fit jobs in memory only — acknowledged jobs
+	// die with the process. Used by tests (and the crash harness's
+	// negative control, which proves the journal is what carries the
+	// no-lost-job invariant).
+	DisableJournal bool
 
 	// testHookPredict, when set, runs inside every uncached predict
 	// computation — tests use it to hold worker slots busy.
 	testHookPredict func()
+	// testHookFit, when set, runs at the start of every fit execution.
+	testHookFit func()
+	// testClock, when set, replaces time.Now for job TTL eviction.
+	testClock func() time.Time
 }
 
 func (c *Config) defaults() {
@@ -65,24 +81,37 @@ func (c *Config) defaults() {
 	if c.FitQueueDepth <= 0 {
 		c.FitQueueDepth = 8
 	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = time.Hour
+	}
+	if c.JobRetain <= 0 {
+		c.JobRetain = 256
+	}
 }
 
-// FitJob tracks one asynchronous training job.
+// FitJob tracks one asynchronous training job through its state machine
+// (queued → running → done | failed). Key is the job's journal key — an
+// opthash of the full request — and Request keeps the original body so
+// an interrupted job can re-run after a restart.
 type FitJob struct {
 	ID         string
+	Key        string
 	Scheme     string
 	Compressor string
+	Request    FitRequest
 
-	mu       sync.Mutex
-	status   string // queued | running | done | failed
-	errMsg   string
-	modelKey string
-	samples  int
+	mu         sync.Mutex
+	status     string // queued | running | done | failed
+	errMsg     string
+	modelKey   string
+	samples    int
+	finishedAt time.Time
 }
 
 // JobView is the immutable JSON projection of a FitJob.
 type JobView struct {
 	ID         string `json:"id"`
+	Key        string `json:"key"`
 	Scheme     string `json:"scheme"`
 	Compressor string `json:"compressor"`
 	Status     string `json:"status"`
@@ -95,7 +124,7 @@ func (j *FitJob) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobView{
-		ID: j.ID, Scheme: j.Scheme, Compressor: j.Compressor,
+		ID: j.ID, Key: j.Key, Scheme: j.Scheme, Compressor: j.Compressor,
 		Status: j.status, Error: j.errMsg, Model: j.modelKey, Samples: j.samples,
 	}
 }
@@ -107,34 +136,71 @@ func (j *FitJob) setStatus(status, errMsg string) {
 	j.mu.Unlock()
 }
 
+// finish moves the job to a terminal status and stamps the eviction
+// clock.
+func (j *FitJob) finish(status, errMsg string, at time.Time) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	j.finishedAt = at
+	j.mu.Unlock()
+}
+
+// doneAt returns the finish time (zero while queued/running).
+func (j *FitJob) doneAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finishedAt
+}
+
+// record projects the job into its journal form.
+func (j *FitJob) record() jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := jobRecord{
+		ID: j.ID, Key: j.Key, Scheme: j.Scheme, Compressor: j.Compressor,
+		Status: j.status, Error: j.errMsg, Model: j.modelKey,
+		Samples: j.samples, Request: j.Request,
+	}
+	if !j.finishedAt.IsZero() {
+		rec.FinishedAtUnix = j.finishedAt.Unix()
+	}
+	return rec
+}
+
 // Server is the prediction-serving subsystem: registry + cache +
 // singleflight + bounded pools behind an http.Handler.
 type Server struct {
-	cfg      Config
-	registry *Registry
-	cache    *lruCache
-	flight   *flightGroup
-	pool     *workerPool
-	fitPool  *workerPool
-	stats    *counters
-	draining atomic.Bool
+	cfg       Config
+	registry  *Registry
+	cache     *lruCache
+	flight    *flightGroup
+	pool      *workerPool
+	fitPool   *workerPool
+	stats     *counters
+	draining  atomic.Bool
+	replaying atomic.Bool
+	journal   *journal
 
 	predMu    sync.Mutex
 	predCache map[string]core.Predictor
 
-	jobMu  sync.Mutex
-	jobs   map[string]*FitJob
-	jobSeq uint64
+	jobMu    sync.Mutex
+	jobs     map[string]*FitJob
+	jobByKey map[string]string // journal key → job ID
+	jobSeq   uint64
 }
 
-// New builds a Server over an open store (which it does not close).
+// New builds a Server over an open store (which it does not close). The
+// server starts in replaying state — fit submission and /healthz report
+// 503 until Recover has replayed the job journal.
 func New(st *store.Store, cfg Config) (*Server, error) {
 	cfg.defaults()
 	reg, err := OpenRegistry(st)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		registry:  reg,
 		cache:     newLRUCache(cfg.CacheSize),
@@ -144,8 +210,81 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		stats:     newCounters(),
 		predCache: map[string]core.Predictor{},
 		jobs:      map[string]*FitJob{},
-	}, nil
+		jobByKey:  map[string]string{},
+	}
+	if !cfg.DisableJournal {
+		s.journal = &journal{st: st}
+	}
+	s.replaying.Store(true)
+	return s, nil
 }
+
+// now is the eviction clock (overridable in tests).
+func (s *Server) now() time.Time {
+	if s.cfg.testClock != nil {
+		return s.cfg.testClock()
+	}
+	return time.Now()
+}
+
+// Recover replays the durable job journal: every job journaled as done
+// or failed becomes queryable again via /v1/jobs, and every job caught
+// queued or running by the crash is re-enqueued to run (again). Fit
+// execution is idempotent — a re-run whose model already landed adopts
+// it instead of re-publishing — so at-least-once replay is safe. Until
+// Recover returns, /healthz and fit submission report 503.
+func (s *Server) Recover(ctx context.Context) error {
+	defer s.replaying.Store(false)
+	recs, err := s.journal.load()
+	if err != nil {
+		s.stats.journalError()
+		return err
+	}
+	var pending []*FitJob
+	s.jobMu.Lock()
+	for i := range recs {
+		rec := &recs[i]
+		job := &FitJob{
+			ID: rec.ID, Key: rec.Key, Scheme: rec.Scheme, Compressor: rec.Compressor,
+			Request: rec.Request, status: rec.Status, errMsg: rec.Error,
+			modelKey: rec.Model, samples: rec.Samples,
+		}
+		if rec.FinishedAtUnix > 0 {
+			job.finishedAt = time.Unix(rec.FinishedAtUnix, 0)
+		}
+		if n := jobSeqOf(rec.ID); n > s.jobSeq {
+			s.jobSeq = n
+		}
+		s.jobs[job.ID] = job
+		s.jobByKey[job.Key] = job.ID
+		if rec.Status == "queued" || rec.Status == "running" {
+			// the crash interrupted it mid-flight; run it again
+			job.status = "queued"
+			pending = append(pending, job)
+		}
+	}
+	s.jobMu.Unlock()
+	for _, job := range pending {
+		// acknowledged jobs must run: wait out a full fit queue instead
+		// of dropping. If the server is already draining, leave the job
+		// journaled as queued for the next start.
+		for !s.enqueueFit(job) {
+			if s.fitPool.isClosed() {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	s.sweepJobs()
+	return nil
+}
+
+// Replaying reports whether journal replay is still in progress.
+func (s *Server) Replaying() bool { return s.replaying.Load() }
 
 // Registry exposes the model registry (predictd CLI introspection).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -352,6 +491,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
 		w.Header().Set("Retry-After", "1")
 		return writeError(w, http.StatusServiceUnavailable, "draining")
 	}
+	if s.replaying.Load() {
+		// new submissions wait for replay: job IDs resume above the
+		// journaled sequence, and duplicates are detected against it
+		w.Header().Set("Retry-After", "1")
+		return writeError(w, http.StatusServiceUnavailable, "replaying job journal")
+	}
 	var req FitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -385,36 +530,152 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest, "%v", err)
 	}
 
+	key := JobKey(req.Scheme, req.Compressor, opts, req.Training)
+
 	s.jobMu.Lock()
+	if id, ok := s.jobByKey[key]; ok {
+		if prev := s.jobs[id]; prev != nil {
+			if prev.view().Status != "failed" {
+				// idempotent resubmit: the same opthash queued, running,
+				// or done is the same job
+				s.jobMu.Unlock()
+				return writeJSON(w, http.StatusAccepted, FitResponse{JobID: id, Existing: true})
+			}
+			// a failed attempt is superseded by the retry
+			delete(s.jobs, id)
+			delete(s.jobByKey, key)
+			s.stats.jobsEvicted(1)
+		}
+	}
 	s.jobSeq++
 	job := &FitJob{
-		ID:     fmt.Sprintf("job-%d", s.jobSeq),
-		Scheme: req.Scheme, Compressor: req.Compressor,
-		status: "queued",
+		ID:  fmt.Sprintf("job-%d", s.jobSeq),
+		Key: key, Scheme: req.Scheme, Compressor: req.Compressor,
+		Request: req,
+		status:  "queued",
 	}
 	s.jobs[job.ID] = job
+	s.jobByKey[key] = job.ID
 	s.jobMu.Unlock()
 
-	submitted := s.fitPool.trySubmit(func() {
-		job.setStatus("running", "")
-		//lint:ignore pressiovet/ctxflow async fit job survives the submitting request by design; bounded by 10x deadline instead
-		ctx, cancel := context.WithTimeout(context.Background(), 10*s.cfg.Deadline)
-		defer cancel()
-		if err := s.runFit(ctx, job, &req, opts, scheme); err != nil {
-			job.setStatus("failed", err.Error())
-			return
-		}
-		job.setStatus("done", "")
-	})
-	if !submitted {
-		s.jobMu.Lock()
-		delete(s.jobs, job.ID)
-		s.jobMu.Unlock()
+	// journal before acknowledging: the 202 promises the job survives a
+	// crash, so a job that cannot be made durable is not accepted
+	if err := s.journalJob(job); err != nil {
+		s.unregisterJob(job)
+		return writeError(w, http.StatusInternalServerError, "journal: %v", err)
+	}
+	if !s.enqueueFit(job) {
+		s.unregisterJob(job)
+		s.journal.remove(job.Key) // never acknowledged: withdraw the record
 		s.stats.reject()
 		w.Header().Set("Retry-After", "5")
 		return writeError(w, http.StatusTooManyRequests, "fit queue full")
 	}
+	s.sweepJobs()
 	return writeJSON(w, http.StatusAccepted, FitResponse{JobID: job.ID})
+}
+
+// journalJob persists the job's current state, counting (but not
+// propagating policy on) journal write failures.
+func (s *Server) journalJob(job *FitJob) error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.put(job.record()); err != nil {
+		s.stats.journalError()
+		return err
+	}
+	return nil
+}
+
+// unregisterJob drops a job that was never acknowledged.
+func (s *Server) unregisterJob(job *FitJob) {
+	s.jobMu.Lock()
+	delete(s.jobs, job.ID)
+	if s.jobByKey[job.Key] == job.ID {
+		delete(s.jobByKey, job.Key)
+	}
+	s.jobMu.Unlock()
+}
+
+// enqueueFit submits a job to the fit pool; false means the queue is
+// full or draining.
+func (s *Server) enqueueFit(job *FitJob) bool {
+	return s.fitPool.trySubmit(func() { s.executeFit(job) })
+}
+
+// executeFit runs one fit job through its state machine, journaling each
+// transition. Journal failures past the queued ack are counted but do
+// not abort the job: the queued record already guarantees a replay.
+func (s *Server) executeFit(job *FitJob) {
+	job.setStatus("running", "")
+	s.journalJob(job)
+	if s.cfg.testHookFit != nil {
+		s.cfg.testHookFit()
+	}
+	//lint:ignore pressiovet/ctxflow async fit job survives the submitting request by design; bounded by 10x deadline instead
+	ctx, cancel := context.WithTimeout(context.Background(), 10*s.cfg.Deadline)
+	defer cancel()
+	if err := s.fitOnce(ctx, job); err != nil {
+		job.finish("failed", err.Error(), s.now())
+	} else {
+		job.finish("done", "", s.now())
+	}
+	s.journalJob(job)
+	s.sweepJobs()
+}
+
+// fitOnce re-derives the fit inputs from the job's stored request (the
+// replay path has nothing else) and runs the training.
+func (s *Server) fitOnce(ctx context.Context, job *FitJob) error {
+	req := &job.Request
+	scheme, err := core.GetScheme(req.Scheme)
+	if err != nil {
+		return err
+	}
+	opts, err := s.requestOptions(req.Options)
+	if err != nil {
+		return err
+	}
+	return s.runFit(ctx, job, req, opts, scheme)
+}
+
+// sweepJobs evicts finished jobs past the TTL, then the oldest beyond
+// the retention cap, removing their journal records so the store does
+// not accrete one record per job forever.
+func (s *Server) sweepJobs() {
+	now := s.now()
+	s.jobMu.Lock()
+	var finished []*FitJob
+	for _, j := range s.jobs {
+		if !j.doneAt().IsZero() {
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(a, b int) bool {
+		return finished[a].doneAt().Before(finished[b].doneAt())
+	})
+	cut := 0
+	for cut < len(finished) && now.Sub(finished[cut].doneAt()) > s.cfg.JobTTL {
+		cut++
+	}
+	if rem := len(finished) - cut; rem > s.cfg.JobRetain {
+		cut += rem - s.cfg.JobRetain
+	}
+	evicted := finished[:cut]
+	for _, j := range evicted {
+		delete(s.jobs, j.ID)
+		if s.jobByKey[j.Key] == j.ID {
+			delete(s.jobByKey, j.Key)
+		}
+	}
+	s.jobMu.Unlock()
+	for _, j := range evicted {
+		s.journal.remove(j.Key)
+	}
+	if len(evicted) > 0 {
+		s.stats.jobsEvicted(len(evicted))
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) int {
@@ -509,18 +770,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if s.replaying.Load() {
+		// not ready: acknowledged jobs are still being re-enqueued, so a
+		// load balancer must not route fit traffic here yet
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "replaying"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	s.sweepJobs() // TTL eviction is observable without fit traffic
 	st := s.stats.snapshot()
 	st.Draining = s.draining.Load()
+	st.Replaying = s.replaying.Load()
 	st.Models = s.registry.Len()
 	st.CacheSize = s.cache.len()
 	st.Jobs = map[string]int{}
 	s.jobMu.Lock()
 	for _, j := range s.jobs {
-		st.Jobs[j.view().Status]++
+		v := j.view()
+		st.Jobs[v.Status]++
+		if v.Status == "done" || v.Status == "failed" {
+			st.JobsRetained++
+		}
 	}
 	s.jobMu.Unlock()
 	writeJSON(w, http.StatusOK, st)

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFsckCleanStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Compact()
+	s.Put("c", []byte("3"))
+	s.Close()
+
+	rep, err := Fsck(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("clean store reported dirty: %+v", rep)
+	}
+	if rep.SnapshotRecords != 2 || rep.WALRecords != 1 || rep.Live != 3 {
+		t.Errorf("counts = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "clean") {
+		t.Errorf("report = %q", rep.String())
+	}
+}
+
+func TestFsckRepairsTornTailAndTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("good", []byte("v"))
+	s.Close()
+
+	wal := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x01, 0x02, 0x03}) // torn frame
+	f.Close()
+	stale := filepath.Join(dir, "snapshot.db.7.tmp")
+	os.WriteFile(stale, []byte("half a snapshot"), 0o644)
+
+	// check-only: report but do not touch
+	rep, err := Fsck(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornBytes != 3 || rep.TornTruncated || len(rep.StaleTemps) != 1 || rep.TempsRemoved {
+		t.Fatalf("check-only report = %+v", rep)
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatal("check-only fsck removed the temp")
+	}
+
+	// repair: truncate + remove, then the store must open clean
+	rep, err = Fsck(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTruncated || !rep.TempsRemoved {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	if got := rep.String(); !strings.Contains(got, "truncated") || !strings.Contains(got, "removed") {
+		t.Errorf("report = %q", got)
+	}
+
+	rep, err = Fsck(dir, false)
+	if err != nil || !rep.Clean() {
+		t.Fatalf("store still dirty after repair: %+v, %v", rep, err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok, _ := s2.Get("good"); !ok {
+		t.Error("repair lost the good record")
+	}
+}
+
+func TestFsckRefusesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Compact()
+	s.Close()
+
+	snap := filepath.Join(dir, "snapshot.db")
+	raw, _ := os.ReadFile(snap)
+	raw[6] ^= 0xFF
+	os.WriteFile(snap, raw, 0o644)
+
+	if _, err := Fsck(dir, true); err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("fsck on corrupt snapshot = %v, want refusal", err)
+	}
+	// and it must not have "repaired" anything silently
+	got, _ := os.ReadFile(snap)
+	if string(got) != string(raw) {
+		t.Error("fsck mutated a corrupt snapshot")
+	}
+}
+
+func TestFsckMissingDir(t *testing.T) {
+	rep, err := Fsck(filepath.Join(t.TempDir(), "never-created"), false)
+	if err != nil {
+		t.Fatalf("fsck of absent store = %v", err)
+	}
+	if !rep.Clean() || rep.Live != 0 {
+		t.Errorf("absent store report = %+v", rep)
+	}
+}

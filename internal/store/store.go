@@ -12,6 +12,13 @@
 //
 // Compact rewrites the live set into a snapshot with an atomic rename,
 // bounding log growth across many checkpoint/restart cycles.
+//
+// Every disk mutation flows through a vfs.FS seam (OpenFS), so the
+// fsync/rename/truncate ordering is exercised under injected failures —
+// short writes, ENOSPC, failed fsyncs, crash points — by the errfs of
+// internal/faultinject. A failed append self-heals: the WAL is truncated
+// back to the last durable record, so a surfaced write error never
+// silently poisons later appends.
 package store
 
 import (
@@ -27,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/faultinject"
+	"repro/internal/vfs"
 )
 
 const (
@@ -42,13 +50,17 @@ var ErrClosed = errors.New("store: closed")
 type Store struct {
 	mu     sync.Mutex
 	dir    string
-	wal    *os.File
+	fs     vfs.FS
+	wal    vfs.File
+	walLen int64 // bytes of whole, durable records in the WAL
+	tmpSeq uint64
 	data   map[string][]byte
 	closed bool
 	// Sync controls whether every Put fsyncs the log (durable against
 	// power loss) or leaves flushing to the OS (durable against process
 	// crashes only, much faster). Defaults to false, as predict-bench
-	// re-runs cheaply relative to fsync-per-record at scale.
+	// re-runs cheaply relative to fsync-per-record at scale; predictd
+	// turns it on so acknowledged fit jobs survive power loss.
 	Sync bool
 	// Inject scripts crashes at the store's durability boundaries
 	// (tests only). A crash-kind rule at OpPutBefore aborts before the
@@ -57,7 +69,8 @@ type Store struct {
 	// but unacknowledged); OpCompactBefore aborts with the snapshot
 	// written but not renamed; OpCompactAfter aborts after the rename
 	// but before the WAL truncate. All leave the store ErrClosed, as
-	// the "process" died.
+	// the "process" died. Finer-grained filesystem faults are injected
+	// below the seam by opening with OpenFS over a faultinject.ErrFS.
 	Inject *faultinject.Plan
 }
 
@@ -80,22 +93,35 @@ func (s *Store) fire(op faultinject.Op, key string) error {
 	return fmt.Errorf("%w: %w", ErrCrashed, d.Err)
 }
 
-// Open loads (or creates) a store rooted at dir, replaying the snapshot
-// and write-ahead log. A torn record at the log tail — the signature of a
-// crash mid-append — is discarded and the log truncated to the last good
-// record.
+// Open loads (or creates) a store rooted at dir on the real filesystem.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, vfs.OS)
+}
+
+// OpenFS loads (or creates) a store rooted at dir, with all disk access
+// through fsys, replaying the snapshot and write-ahead log. A torn
+// record at the log tail — the signature of a crash mid-append — is
+// discarded and the log truncated to the last good record.
+func OpenFS(dir string, fsys vfs.FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, data: make(map[string][]byte)}
+	s := &Store{dir: dir, fs: fsys, data: make(map[string][]byte)}
 
-	// a stale temp snapshot is the signature of a crash before the
-	// compact rename; the real snapshot + WAL are still authoritative
-	os.Remove(s.snapshotPath() + ".tmp")
+	// stale temp snapshots are the signature of a crash (or failed
+	// write) before a compact rename; the real snapshot + WAL are still
+	// authoritative. Temp names are unique per attempt, so sweep by
+	// suffix rather than any fixed name.
+	if names, err := fsys.ReadDir(dir); err == nil {
+		for _, name := range names {
+			if strings.HasSuffix(name, ".tmp") {
+				fsys.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
 
 	// snapshot first, then the log on top
-	if snap, err := os.ReadFile(s.snapshotPath()); err == nil {
+	if snap, err := fsys.ReadFile(s.snapshotPath()); err == nil {
 		if err := s.replay(snap, nil); err != nil {
 			return nil, fmt.Errorf("store: corrupt snapshot: %w", err)
 		}
@@ -103,7 +129,7 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 
-	logBytes, err := os.ReadFile(s.walPath())
+	logBytes, err := fsys.ReadFile(s.walPath())
 	if errors.Is(err, os.ErrNotExist) {
 		logBytes = nil
 	} else if err != nil {
@@ -115,15 +141,16 @@ func Open(dir string) (*Store, error) {
 	}
 	if goodLen < len(logBytes) {
 		// torn tail: truncate to the last whole record
-		if err := os.Truncate(s.walPath(), int64(goodLen)); err != nil {
+		if err := fsys.Truncate(s.walPath(), int64(goodLen)); err != nil {
 			return nil, fmt.Errorf("store: truncating torn log: %w", err)
 		}
 	}
-	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := fsys.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s.wal = wal
+	s.walLen = int64(goodLen)
 	return s, nil
 }
 
@@ -199,6 +226,37 @@ func decodeRecord(buf []byte) (record, int, error) {
 	return record{op: op, key: key, value: value}, total, nil
 }
 
+// appendRecord writes one framed record to the WAL (fsyncing under
+// Sync) and advances walLen. On any write or sync failure it heals the
+// tail — truncating back to the last durable record so torn bytes can
+// never precede later appends — and surfaces the error; if even the
+// heal fails (the disk is gone, or an injected crash killed the fs),
+// the store poisons itself closed rather than acknowledge writes it
+// cannot make durable. Call with s.mu held.
+func (s *Store) appendRecord(rec []byte) error {
+	if _, err := s.wal.Write(rec); err != nil {
+		s.healTail()
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.Sync {
+		if err := s.wal.Sync(); err != nil {
+			s.healTail()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.walLen += int64(len(rec))
+	return nil
+}
+
+// healTail truncates the WAL back to the last whole durable record
+// after a failed append. Call with s.mu held.
+func (s *Store) healTail() {
+	if err := s.wal.Truncate(s.walLen); err != nil {
+		s.closed = true
+		s.wal.Close()
+	}
+}
+
 // Put durably stores value under key (last write wins).
 func (s *Store) Put(key string, value []byte) error {
 	s.mu.Lock()
@@ -209,14 +267,8 @@ func (s *Store) Put(key string, value []byte) error {
 	if err := s.fire(faultinject.OpPutBefore, key); err != nil {
 		return err
 	}
-	rec := encodeRecord(opPut, key, value)
-	if _, err := s.wal.Write(rec); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if s.Sync {
-		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
+	if err := s.appendRecord(encodeRecord(opPut, key, value)); err != nil {
+		return err
 	}
 	if err := s.fire(faultinject.OpPutAfter, key); err != nil {
 		return err
@@ -249,9 +301,8 @@ func (s *Store) Delete(key string) error {
 	if _, ok := s.data[key]; !ok {
 		return nil
 	}
-	rec := encodeRecord(opDelete, key, nil)
-	if _, err := s.wal.Write(rec); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if err := s.appendRecord(encodeRecord(opDelete, key, nil)); err != nil {
+		return err
 	}
 	delete(s.data, key)
 	return nil
@@ -284,7 +335,7 @@ func (s *Store) Len() int {
 
 // Compact writes the live set as a snapshot (atomic rename) and truncates
 // the log.
-func (s *Store) Compact() error {
+func (s *Store) Compact() (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -302,8 +353,20 @@ func (s *Store) Compact() error {
 	// write + fsync the temp snapshot before the rename, and fsync the
 	// directory after: without both, a power loss just after Compact can
 	// surface an empty or torn snapshot even though rename is atomic.
-	tmp := s.snapshotPath() + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	// The temp name is unique per attempt so a failed attempt can never
+	// collide with a retry; on any non-crash failure the temp is removed
+	// here, and Open sweeps survivors of crashes.
+	tmp := fmt.Sprintf("%s.%d.tmp", s.snapshotPath(), s.tmpSeq)
+	s.tmpSeq++
+	renamed := false
+	defer func() {
+		// leave the temp in place on injected crashes — the "process"
+		// died, and recovery (Open / Fsck) owns the cleanup
+		if !renamed && !errors.Is(err, ErrCrashed) {
+			s.fs.Remove(tmp)
+		}
+	}()
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -321,10 +384,11 @@ func (s *Store) Compact() error {
 	if err := s.fire(faultinject.OpCompactBefore, s.snapshotPath()); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+	if err := s.fs.Rename(tmp, s.snapshotPath()); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	renamed = true
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := s.fire(faultinject.OpCompactAfter, s.snapshotPath()); err != nil {
@@ -336,18 +400,8 @@ func (s *Store) Compact() error {
 	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.walLen = 0
 	return nil
-}
-
-// syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
 
 // Close flushes and closes the log; the store is unusable afterwards.

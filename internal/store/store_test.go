@@ -410,20 +410,60 @@ func TestCompactLeavesNoStaleTemp(t *testing.T) {
 	if err := s.Compact(); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("Compact = %v", err)
 	}
-	tmp := filepath.Join(dir, "snapshot.db.tmp")
-	if _, err := os.Stat(tmp); err != nil {
-		t.Fatalf("crash before rename should leave the temp snapshot: %v", err)
+	// temp names are unique per attempt, so match by suffix
+	if n := len(globTemps(t, dir)); n != 1 {
+		t.Fatalf("crash before rename should leave 1 temp snapshot, found %d", n)
 	}
 	s2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
-		t.Error("Open did not clean up the stale temp snapshot")
+	if tmps := globTemps(t, dir); len(tmps) != 0 {
+		t.Errorf("Open did not clean up stale temp snapshots: %v", tmps)
 	}
 	if _, ok, _ := s2.Get("a"); !ok {
 		t.Error("record lost")
+	}
+}
+
+// globTemps lists the *.tmp entries in dir.
+func globTemps(t *testing.T, dir string) []string {
+	t.Helper()
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmps
+}
+
+// TestCompactFailureRemovesTemp covers the non-crash failure path: when
+// the snapshot write itself fails (ENOSPC), the temp from that attempt
+// is removed immediately and a retry uses a fresh name.
+func TestCompactFailureRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	efs := faultinject.NewErrFS(dir, faultinject.New(1, faultinject.Rule{
+		Op: faultinject.OpFSWrite, Kind: faultinject.KindENOSPC, Worker: -1,
+		Key: ".tmp", Count: 1,
+	}))
+	s, err := OpenFS(dir, efs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("a", []byte("1"))
+	if err := s.Compact(); !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("Compact = %v, want ENOSPC", err)
+	}
+	if tmps := globTemps(t, dir); len(tmps) != 0 {
+		t.Fatalf("failed Compact left temps behind: %v", tmps)
+	}
+	// the store is still alive and a retry succeeds with a fresh name
+	if err := s.Compact(); err != nil {
+		t.Fatalf("retry Compact = %v", err)
+	}
+	if v, ok, _ := s.Get("a"); !ok || string(v) != "1" {
+		t.Errorf("a = %q, %v after retried compact", v, ok)
 	}
 }
 

@@ -1,0 +1,67 @@
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip exercises every FS method against a temp directory —
+// the passthrough must behave exactly like the os package it wraps,
+// since crash tests compare errfs behaviour against it.
+func TestOSRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "d")
+	if err := OS.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	name := filepath.Join(dir, "f")
+	f, err := OS.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := OS.ReadFile(name)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := OS.Truncate(name, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = OS.ReadFile(name); string(got) != "he" {
+		t.Fatalf("after Truncate: %q", got)
+	}
+
+	renamed := filepath.Join(dir, "g")
+	if err := OS.Rename(name, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	names, err := OS.ReadDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "g" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := OS.Remove(renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.ReadFile(renamed); !os.IsNotExist(err) {
+		t.Fatalf("removed file still readable: %v", err)
+	}
+}
