@@ -1,7 +1,7 @@
 GO ?= go
 PRESSIOVET := bin/pressiovet
 
-.PHONY: build test check lint fmt-check serve-check crash-check stress bench bench-baseline bench-check clean
+.PHONY: build test check lint fmt-check serve-check crash-check cluster-check stress bench bench-baseline bench-check clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ check: fmt-check
 	$(GO) build ./...
 	$(GO) test -race -short ./...
 	$(MAKE) crash-check
+	$(MAKE) cluster-check
 ifdef BENCH
 	$(MAKE) bench-check
 endif
@@ -54,6 +55,14 @@ serve-check:
 # control. Plans are seeded, so a failure reproduces from the log alone.
 crash-check:
 	$(GO) test -race -run 'TestKillRestart|TestCrashDuringCompactRename|TestCrashHarnessCatchesJournalLoss' ./internal/serve/ -v
+
+# cluster-check runs the multi-process replicated-cluster harness
+# (DESIGN.md §13) under the race detector: a real 3-node predictd cluster
+# plus router as separate OS processes, with the partition owner killed
+# at seeded fault points and at randomized offsets. Asserts no acked fit
+# is lost, no divergent model publish, and graceful router degradation.
+cluster-check:
+	$(GO) test -race -run TestCluster ./internal/cluster/ -v
 
 stress:
 	$(GO) test -race -run TestStress ./internal/queue/ -v

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster/health"
 	"repro/internal/faultinject"
 )
 
@@ -85,11 +86,12 @@ func ServeWorker(addr string) (net.Listener, error) {
 	return ln, nil
 }
 
-// Circuit-breaker states.
+// Circuit-breaker states (shared with the cluster router via
+// internal/cluster/health).
 const (
-	breakerClosed   = "closed"
-	breakerOpen     = "open"
-	breakerHalfOpen = "half-open"
+	breakerClosed   = health.StateClosed
+	breakerOpen     = health.StateOpen
+	breakerHalfOpen = health.StateHalfOpen
 )
 
 // ErrAllEndpointsDown is wrapped into call errors when every endpoint's
@@ -158,15 +160,10 @@ type PoolStats struct {
 type endpoint struct {
 	addr   string
 	client *rpc.Client
+	br     *health.Breaker // guarded by the pool mutex
 
-	state       string
-	consecFails int
-	openedAt    time.Time
-	probing     bool // a half-open probe is in flight
-
-	calls       int
-	failures    int
-	transitions []string
+	calls    int
+	failures int
 }
 
 // remotePool holds one persistent RPC client per endpoint behind a
@@ -191,40 +188,16 @@ func newRemotePool(endpoints []string, cfg poolConfig) *remotePool {
 		stop: make(chan struct{}),
 	}
 	for _, addr := range endpoints {
-		p.eps = append(p.eps, &endpoint{addr: addr, state: breakerClosed})
+		p.eps = append(p.eps, &endpoint{
+			addr: addr,
+			br:   health.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		})
 	}
 	if cfg.PingInterval > 0 {
 		p.wg.Add(1)
 		go p.pingLoop()
 	}
 	return p
-}
-
-// transitionLocked moves ep to state, recording the edge.
-func (p *remotePool) transitionLocked(ep *endpoint, state string) {
-	if ep.state == state {
-		return
-	}
-	ep.transitions = append(ep.transitions, ep.state+"→"+state)
-	ep.state = state
-}
-
-// availableLocked reports whether ep may serve a call now; an open
-// breaker past its cooldown transitions to half-open and admits exactly
-// one probe call.
-func (p *remotePool) availableLocked(ep *endpoint, now time.Time) bool {
-	switch ep.state {
-	case breakerClosed:
-		return true
-	case breakerOpen:
-		if now.Sub(ep.openedAt) >= p.cfg.BreakerCooldown {
-			p.transitionLocked(ep, breakerHalfOpen)
-			return true
-		}
-		return false
-	default: // half-open: one probe at a time
-		return !ep.probing
-	}
 }
 
 // acquire picks the endpoint for a queue worker slot: the slot's current
@@ -239,15 +212,14 @@ func (p *remotePool) acquire(worker int) (*endpoint, bool) {
 	if !pinned {
 		pin = worker % n
 	}
-	now := p.cfg.Clock()
 	for i := 0; i < n; i++ {
 		idx := (pin + i) % n
 		ep := p.eps[idx]
-		if !p.availableLocked(ep, now) {
+		if !ep.br.Available() {
 			continue
 		}
-		if ep.state == breakerHalfOpen {
-			ep.probing = true
+		if ep.br.State() == breakerHalfOpen {
+			ep.br.MarkProbing()
 		}
 		if pinned && idx != pin {
 			p.reps++
@@ -264,21 +236,11 @@ func (p *remotePool) onResult(ep *endpoint, err error, probe bool) {
 	defer p.mu.Unlock()
 	if !probe {
 		ep.calls++
+		if err != nil {
+			ep.failures++
+		}
 	}
-	ep.probing = false
-	if err == nil {
-		ep.consecFails = 0
-		p.transitionLocked(ep, breakerClosed)
-		return
-	}
-	if !probe {
-		ep.failures++
-	}
-	ep.consecFails++
-	if ep.state == breakerHalfOpen || ep.consecFails >= p.cfg.BreakerThreshold {
-		p.transitionLocked(ep, breakerOpen)
-		ep.openedAt = p.cfg.Clock()
-	}
+	ep.br.OnResult(err)
 }
 
 // clientFor returns the cached client for ep, dialing with a timeout if
@@ -359,13 +321,12 @@ func (p *remotePool) pingLoop() {
 		}
 		p.mu.Lock()
 		eps := append([]*endpoint(nil), p.eps...)
-		now := p.cfg.Clock()
 		var probes []*endpoint
 		for _, ep := range eps {
 			// probe everything except open breakers still cooling down
-			if p.availableLocked(ep, now) {
-				if ep.state == breakerHalfOpen {
-					ep.probing = true
+			if ep.br.Available() {
+				if ep.br.State() == breakerHalfOpen {
+					ep.br.MarkProbing()
 				}
 				probes = append(probes, ep)
 			}
@@ -402,8 +363,8 @@ func (p *remotePool) stats() PoolStats {
 			Addr:        ep.addr,
 			Calls:       ep.calls,
 			Failures:    ep.failures,
-			State:       ep.state,
-			Transitions: append([]string(nil), ep.transitions...),
+			State:       ep.br.State(),
+			Transitions: ep.br.Transitions(),
 		})
 	}
 	return s

@@ -1,0 +1,608 @@
+package cluster
+
+// Multi-process cluster harness: builds the real predictd binary, boots a
+// 3-node replicated cluster plus a router as separate OS processes, drives
+// fit/predict load through the router, and kills the partition owner with
+// SIGKILL — both at seeded fault points (exact store/replication
+// operations, via -fault-plan crash rules that exit 137) and at randomized
+// wall-clock offsets. The invariants checked after every kill:
+//
+//   - no acknowledged fit job is lost: every 202'd job reaches "done"
+//     on a survivor after failover
+//   - no opthash is published twice with divergent bytes: every node's
+//     divergence counter stays 0 and model state hashes agree across nodes
+//   - the router degrades gracefully: every response is a well-formed
+//     2xx/4xx/429/503 (backpressure always carries Retry-After) and no
+//     request ever hangs (client timeouts are the hang detector)
+//
+// Run via `make cluster-check` (wired into `make check`); `-short` skips.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	harnessScheme     = "krasowska2021"
+	harnessCompressor = "sz3"
+)
+
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+)
+
+// predictdBinary builds cmd/predictd once per test run (with -race, so
+// the daemons themselves run under the detector).
+func predictdBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "predictd-harness-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildPath = filepath.Join(dir, "predictd")
+		cmd := exec.Command("go", "build", "-race", "-o", buildPath, "repro/cmd/predictd")
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building predictd: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildPath
+}
+
+// freePorts reserves n distinct listen ports by binding and releasing
+// them (peers must be named before any process starts).
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	listeners := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}
+
+// proc is one predictd process under harness control.
+type proc struct {
+	name string
+	base string
+	dir  string
+	args []string
+	bin  string
+	log  *os.File
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done chan error // closed result of Wait
+}
+
+func (p *proc) start(t *testing.T) {
+	t.Helper()
+	os.Remove(filepath.Join(p.dir, "ready"))
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stdout = p.log
+	cmd.Stderr = p.log
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", p.name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait(); close(done) }()
+	p.mu.Lock()
+	p.cmd, p.done = cmd, done
+	p.mu.Unlock()
+}
+
+// kill SIGKILLs the process and waits for it to reap.
+func (p *proc) kill(t *testing.T) {
+	t.Helper()
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Kill()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s did not die after SIGKILL", p.name)
+	}
+}
+
+// waitExit waits for the process to exit on its own (a seeded crash
+// rule) and returns its exit code.
+func (p *proc) waitExit(t *testing.T, within time.Duration) int {
+	t.Helper()
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	select {
+	case <-done:
+		return cmd.ProcessState.ExitCode()
+	case <-time.After(within):
+		t.Fatalf("%s still alive after %v, expected a seeded crash", p.name, within)
+		return -1
+	}
+}
+
+// harness is a running 3-node cluster + router.
+type harness struct {
+	nodes  map[string]*proc
+	router *proc
+	client *http.Client
+	owner  string // owner of the harness partition
+}
+
+// faultPlans maps node name → -fault-plan text for that node.
+func startHarness(t *testing.T, faultPlans map[string]string) *harness {
+	t.Helper()
+	bin := predictdBinary(t)
+	names := []string{"n1", "n2", "n3"}
+	ports := freePorts(t, 4)
+	bases := map[string]string{}
+	for i, name := range names {
+		bases[name] = fmt.Sprintf("http://127.0.0.1:%d", ports[i])
+	}
+	h := &harness{
+		nodes: map[string]*proc{},
+		// the client timeout is the hang detector: a router that wedges
+		// fails the test here, not at the suite deadline
+		client: &http.Client{Timeout: 20 * time.Second},
+		owner:  NewRing(names, 0).Owner(PartitionKey(harnessScheme, harnessCompressor)),
+	}
+	root := t.TempDir()
+	for i, name := range names {
+		dir := filepath.Join(root, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		logf, err := os.Create(filepath.Join(dir, "log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { logf.Close() })
+		var peers []string
+		for _, o := range names {
+			if o != name {
+				peers = append(peers, o+"="+bases[o])
+			}
+		}
+		args := []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-store", filepath.Join(dir, "store"),
+			"-node", name,
+			"-peers", strings.Join(peers, ","),
+			"-repl-dir", filepath.Join(dir, "repl"),
+			"-poll-interval", "20ms",
+			"-ack-timeout", "3s",
+			"-ready-file", filepath.Join(dir, "ready"),
+		}
+		if plan := faultPlans[name]; plan != "" {
+			args = append(args, "-fault-plan", plan, "-fault-seed", "1")
+		}
+		h.nodes[name] = &proc{name: name, base: bases[name], dir: dir, args: args, bin: bin, log: logf}
+	}
+
+	rdir := filepath.Join(root, "router")
+	if err := os.MkdirAll(rdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rlog, err := os.Create(filepath.Join(rdir, "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rlog.Close() })
+	var members []string
+	for _, name := range names {
+		members = append(members, name+"="+bases[name])
+	}
+	h.router = &proc{
+		name: "router", base: fmt.Sprintf("http://127.0.0.1:%d", ports[3]), dir: rdir,
+		args: []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[3]),
+			"-router",
+			"-members", strings.Join(members, ","),
+			"-probe-interval", "50ms",
+			"-ready-file", filepath.Join(rdir, "ready"),
+		},
+		bin: bin, log: rlog,
+	}
+
+	for _, p := range h.nodes {
+		p.start(t)
+	}
+	h.router.start(t)
+	t.Cleanup(func() {
+		h.router.kill(t)
+		for _, p := range h.nodes {
+			p.kill(t)
+		}
+		if t.Failed() {
+			for _, p := range append([]*proc{h.router}, h.nodes["n1"], h.nodes["n2"], h.nodes["n3"]) {
+				if raw, err := os.ReadFile(filepath.Join(p.dir, "log")); err == nil && len(raw) > 0 {
+					t.Logf("--- %s log ---\n%s", p.name, raw)
+				}
+			}
+		}
+	})
+
+	for _, p := range h.nodes {
+		h.waitHealthy(t, p.base, 30*time.Second)
+	}
+	h.waitLive(t, 3, 30*time.Second)
+	return h
+}
+
+func (h *harness) waitHealthy(t *testing.T, base string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		resp, err := h.client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", base)
+}
+
+// waitLive blocks until the router reports n live members.
+func (h *harness) waitLive(t *testing.T, n int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		var st RouterStatus
+		if h.getJSON(h.router.base+"/v1/router/status", &st) == nil {
+			live := 0
+			for _, state := range st.Members {
+				if state == "closed" {
+					live++
+				}
+			}
+			if live == n {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("router never saw %d live members", n)
+}
+
+func (h *harness) getJSON(url string, v any) error {
+	resp, err := h.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// checkWellFormedResp enforces the degradation contract on a live
+// router response.
+func checkWellFormedResp(t *testing.T, resp *http.Response) {
+	t.Helper()
+	code := resp.StatusCode
+	if !(code >= 200 && code < 300) && !(code >= 400 && code < 500) && code != 503 {
+		t.Errorf("router answered HTTP %d for %s", code, resp.Request.URL.Path)
+	}
+	if (code == 429 || code == 503) && resp.Header.Get("Retry-After") == "" {
+		t.Errorf("HTTP %d without Retry-After for %s", code, resp.Request.URL.Path)
+	}
+}
+
+// fitBody builds the i-th distinct cheap fit request (distinct bounds →
+// distinct opthash, same partition).
+func fitBody(i int) string {
+	return fmt.Sprintf(`{"scheme":%q,"compressor":%q,"training":{"fields":["P"],"steps":2,"dims":[8,8,8],"bounds":[1e-4,%g]}}`,
+		harnessScheme, harnessCompressor, 1e-3*float64(i+1))
+}
+
+// submitFit posts one fit through the router; returns the job ID when
+// the cluster acknowledged (202), "" otherwise. Every response must be
+// well-formed either way.
+func (h *harness) submitFit(t *testing.T, i int) string {
+	t.Helper()
+	resp, err := h.client.Post(h.router.base+"/v1/fit", "application/json", strings.NewReader(fitBody(i)))
+	if err != nil {
+		// transport-level failure against the router itself only happens
+		// when the harness killed it; the router must never hang or reset
+		t.Errorf("fit %d transport error: %v", i, err)
+		return ""
+	}
+	defer resp.Body.Close()
+	checkWellFormedResp(t, resp)
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return ""
+	}
+	var fr struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(raw, &fr); err != nil || fr.JobID == "" {
+		t.Errorf("fit %d: 202 without job_id: %s", i, raw)
+		return ""
+	}
+	return fr.JobID
+}
+
+// predictOnce sends one prediction through the router, asserting only
+// well-formedness (during failover 503 is legitimate).
+func (h *harness) predictOnce(t *testing.T) {
+	t.Helper()
+	body := fmt.Sprintf(`{"scheme":%q,"compressor":%q,"data":{"field":"P","step":1,"dims":[8,8,8]},"options":{"pressio:abs":1e-3}}`,
+		harnessScheme, harnessCompressor)
+	resp, err := h.client.Post(h.router.base+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Errorf("predict transport error: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	checkWellFormedResp(t, resp)
+	io.Copy(io.Discard, resp.Body)
+}
+
+// waitJobDone polls a job through the router until "done". 404s and 503s
+// along the way are the failover window, not failures.
+func (h *harness) waitJobDone(t *testing.T, id string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	last := ""
+	for time.Now().Before(deadline) {
+		resp, err := h.client.Get(h.router.base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("job %s poll transport error: %v", id, err)
+		}
+		checkWellFormedResp(t, resp)
+		var jv struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && json.Unmarshal(raw, &jv) == nil {
+			last = jv.Status
+			if jv.Status == "done" {
+				return
+			}
+			if jv.Status == "failed" {
+				t.Fatalf("acked job %s failed: %s", id, jv.Error)
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("acked job %s lost: never reached done (last status %q)", id, last)
+}
+
+// checkNoDivergence asserts every reachable node reports a zero
+// divergence counter, and that no model key carries two different state
+// hashes across nodes — the "no double publish with divergent bytes"
+// invariant, checked both ways.
+func (h *harness) checkNoDivergence(t *testing.T) {
+	t.Helper()
+	shas := map[string]string{} // model key → state sha
+	for name, p := range h.nodes {
+		var st StatusResponse
+		if err := h.getJSON(p.base+"/v1/repl/status", &st); err != nil {
+			continue // dead node
+		}
+		if st.Divergence != 0 {
+			t.Errorf("node %s reports %d divergent publishes", name, st.Divergence)
+		}
+		var models []struct {
+			Key      string `json:"key"`
+			StateSHA string `json:"state_sha256"`
+		}
+		if err := h.getJSON(p.base+"/v1/models", &models); err != nil {
+			continue
+		}
+		for _, m := range models {
+			if prev, ok := shas[m.Key]; ok && prev != m.StateSHA {
+				t.Errorf("model %s has divergent state across nodes: %s vs %s", m.Key, prev, m.StateSHA)
+			}
+			shas[m.Key] = m.StateSHA
+		}
+	}
+}
+
+// waitConverged blocks until every live node has applied every other
+// live node's stream fully (per /v1/repl/status of each).
+func (h *harness) waitConverged(t *testing.T, names []string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		lastSeq := map[string]uint64{}
+		applied := map[string]map[string]uint64{}
+		ok := true
+		for _, name := range names {
+			var st StatusResponse
+			if err := h.getJSON(h.nodes[name].base+"/v1/repl/status", &st); err != nil {
+				ok = false
+				break
+			}
+			lastSeq[name] = st.LastSeq
+			applied[name] = st.Applied
+		}
+		if ok {
+			for _, a := range names {
+				for _, b := range names {
+					if a != b && applied[a][b] < lastSeq[b] {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("nodes %v never converged", names)
+}
+
+func survivorsOf(h *harness, dead string) []string {
+	var out []string
+	for name := range h.nodes {
+		if name != dead {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestClusterKillOwnerMidFit kills the partition owner with a seeded
+// crash at its first model publish: fits were 202-acked and replicated,
+// the owner dies mid-fit, and the survivors must finish every acked job.
+func TestClusterKillOwnerMidFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness")
+	}
+	owner := NewRing([]string{"n1", "n2", "n3"}, 0).Owner(PartitionKey(harnessScheme, harnessCompressor))
+	h := startHarness(t, map[string]string{
+		// exit 137 the instant the first trained model would be published:
+		// after the fit ran, before its result is durable anywhere
+		owner: "put-before crash key=model/ at=1",
+	})
+
+	var acked []string
+	for i := 0; i < 3; i++ {
+		if id := h.submitFit(t, i); id != "" {
+			acked = append(acked, id)
+		}
+	}
+	if len(acked) == 0 {
+		t.Fatal("no fit was acknowledged")
+	}
+
+	if code := h.nodes[owner].waitExit(t, 30*time.Second); code != 137 {
+		t.Fatalf("owner exited %d, want 137 (seeded crash)", code)
+	}
+
+	// the cluster honors every ack without the owner
+	for _, id := range acked {
+		h.waitJobDone(t, id, 90*time.Second)
+	}
+	h.predictOnce(t)
+	h.checkNoDivergence(t)
+
+	// the owner returns with no fault plan, catches up over the shipped
+	// logs, and the router reinstates it
+	p := h.nodes[owner]
+	p.args = p.args[:len(p.args)-4] // drop -fault-plan/-fault-seed
+	p.start(t)
+	h.waitHealthy(t, p.base, 30*time.Second)
+	h.waitLive(t, 3, 30*time.Second)
+	h.waitConverged(t, []string{"n1", "n2", "n3"}, 60*time.Second)
+	h.checkNoDivergence(t)
+}
+
+// TestClusterKillOwnerAtReplicationOffset kills the owner while it is
+// serving its replication stream (seeded crash at a fixed ship offset):
+// followers resume over relayed copies and every acked job completes.
+func TestClusterKillOwnerAtReplicationOffset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness")
+	}
+	owner := NewRing([]string{"n1", "n2", "n3"}, 0).Owner(PartitionKey(harnessScheme, harnessCompressor))
+	h := startHarness(t, map[string]string{
+		// the owner dies on the 5th frame it ships — mid-replication,
+		// with followers at a seeded offset into its stream
+		owner: "repl-ship crash at=5",
+	})
+
+	var acked []string
+	for i := 0; i < 4; i++ {
+		if id := h.submitFit(t, i); id != "" {
+			acked = append(acked, id)
+		}
+		h.predictOnce(t)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no fit was acknowledged")
+	}
+	if code := h.nodes[owner].waitExit(t, 30*time.Second); code != 137 {
+		t.Fatalf("owner exited %d, want 137 (seeded crash)", code)
+	}
+	for _, id := range acked {
+		h.waitJobDone(t, id, 90*time.Second)
+	}
+	h.waitConverged(t, survivorsOf(h, owner), 60*time.Second)
+	h.checkNoDivergence(t)
+}
+
+// TestClusterRandomizedKillSweep SIGKILLs the owner at a seeded random
+// wall-clock offset while load is in flight — the unscripted complement
+// to the cataloged crash points.
+func TestClusterRandomizedKillSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness")
+	}
+	// fixed-seed xorshift: reproducible offsets without math/rand
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	h := startHarness(t, nil)
+	owner := h.owner
+
+	var acked []string
+	killAfter := time.Duration(50+next(250)) * time.Millisecond
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(killAfter)
+		h.nodes[owner].kill(t)
+	}()
+	for i := 0; i < 6; i++ {
+		if id := h.submitFit(t, i); id != "" {
+			acked = append(acked, id)
+		}
+		h.predictOnce(t)
+		time.Sleep(time.Duration(20+next(60)) * time.Millisecond)
+	}
+	<-killed
+
+	if len(acked) == 0 {
+		t.Fatal("no fit was acknowledged before the kill")
+	}
+	for _, id := range acked {
+		h.waitJobDone(t, id, 90*time.Second)
+	}
+	h.predictOnce(t)
+	h.waitConverged(t, survivorsOf(h, owner), 60*time.Second)
+	h.checkNoDivergence(t)
+}

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/health"
+)
+
+// fakeMember simulates one predictd node's HTTP surface for router tests.
+type fakeMember struct {
+	name string
+	srv  *httptest.Server
+
+	mu       sync.Mutex
+	healthy  bool
+	status   StatusResponse
+	adopted  []string
+	fits     int
+	predicts int
+	hasJob   bool
+	adoptErr bool
+}
+
+func newFakeMember(name string) *fakeMember {
+	m := &fakeMember{name: name, healthy: true, status: StatusResponse{Node: name, Applied: map[string]uint64{}}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		ok := m.healthy
+		m.mu.Unlock()
+		if !ok {
+			http.Error(w, `{"status":"down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/v1/repl/status", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		json.NewEncoder(w).Encode(m.status)
+	})
+	mux.HandleFunc("/v1/repl/adopt", func(w http.ResponseWriter, r *http.Request) {
+		var req adoptRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.adoptErr {
+			http.Error(w, `{"error":"adopt failed"}`, http.StatusInternalServerError)
+			return
+		}
+		m.adopted = append(m.adopted, req.Node)
+		json.NewEncoder(w).Encode(map[string]int{"adopted": 1})
+	})
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		m.predicts++
+		m.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"prediction": 0.5, "served_by": m.name})
+	})
+	mux.HandleFunc("/v1/fit", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		m.fits++
+		m.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"job_id": "job-" + m.name + "-1"})
+	})
+	mux.HandleFunc("/v1/invalidate", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"evicted_models": []string{"model/" + m.name}, "cleared_cached": 1,
+		})
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		has := m.hasJob
+		m.mu.Unlock()
+		if !has {
+			http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"state": "done"})
+	})
+	m.srv = httptest.NewServer(mux)
+	return m
+}
+
+func (m *fakeMember) setHealthy(ok bool) {
+	m.mu.Lock()
+	m.healthy = ok
+	m.mu.Unlock()
+}
+
+func startRouter(t *testing.T, members map[string]*fakeMember, tweak func(*RouterConfig)) *Router {
+	t.Helper()
+	cfg := RouterConfig{
+		Members:        map[string]string{},
+		ProbeInterval:  10 * time.Millisecond,
+		FailThreshold:  1,
+		Cooldown:       100 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	}
+	for name, m := range members {
+		cfg.Members[name] = m.srv.URL
+		t.Cleanup(m.srv.Close)
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	r := NewRouter(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	r.Start(ctx)
+	return r
+}
+
+func threeMembers() map[string]*fakeMember {
+	return map[string]*fakeMember{
+		"n1": newFakeMember("n1"), "n2": newFakeMember("n2"), "n3": newFakeMember("n3"),
+	}
+}
+
+func postJSON(h http.Handler, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// checkWellFormed asserts the degradation contract: only 2xx/4xx/429/503,
+// and backpressure statuses always carry Retry-After.
+func checkWellFormed(t *testing.T, w *httptest.ResponseRecorder) {
+	t.Helper()
+	code := w.Code
+	if !(code >= 200 && code < 300) && !(code >= 400 && code < 500) && code != 503 {
+		t.Errorf("router answered HTTP %d", code)
+	}
+	if (code == 429 || code == 503) && w.Header().Get("Retry-After") == "" {
+		t.Errorf("HTTP %d without Retry-After", code)
+	}
+}
+
+func TestRouterPredictRoutesAndPins(t *testing.T) {
+	members := threeMembers()
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+	h := r.Handler()
+
+	body := `{"scheme":"s","compressor":"c","features":{"f":1}}`
+	w := postJSON(h, "/v1/predict", body, nil)
+	checkWellFormed(t, w)
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict = %d: %s", w.Code, w.Body)
+	}
+	first := w.Header().Get("X-Served-By")
+	if first == "" {
+		t.Fatal("no X-Served-By header")
+	}
+	// the partition pins: a second identical request lands on the same replica
+	w2 := postJSON(h, "/v1/predict", body, nil)
+	if got := w2.Header().Get("X-Served-By"); got != first {
+		t.Errorf("pin broke: %s then %s", first, got)
+	}
+
+	if w := postJSON(h, "/v1/predict", `{"features":{}}`, nil); w.Code != http.StatusBadRequest {
+		t.Errorf("predict without scheme/compressor = %d", w.Code)
+	}
+}
+
+func TestRouterFitGoesToOwnerOnly(t *testing.T) {
+	members := threeMembers()
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+
+	owner := r.ring.Owner(PartitionKey("s", "c"))
+	w := postJSON(r.Handler(), "/v1/fit", `{"scheme":"s","compressor":"c"}`, nil)
+	checkWellFormed(t, w)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("fit = %d: %s", w.Code, w.Body)
+	}
+	for name, m := range members {
+		m.mu.Lock()
+		fits := m.fits
+		m.mu.Unlock()
+		if name == owner && fits != 1 {
+			t.Errorf("owner %s saw %d fits", name, fits)
+		}
+		if name != owner && fits != 0 {
+			t.Errorf("non-owner %s saw %d fits", name, fits)
+		}
+	}
+}
+
+func TestRouterFailoverAdoptsAndReroutes(t *testing.T) {
+	members := threeMembers()
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+
+	pk := PartitionKey("s", "c")
+	owner := r.ring.Owner(pk)
+	// make one survivor clearly most caught-up on the dead stream so the
+	// adopter choice is deterministic
+	var best string
+	for name, m := range members {
+		if name == owner {
+			continue
+		}
+		m.mu.Lock()
+		if best == "" {
+			best = name
+			m.status.Applied[owner] = 42
+		} else {
+			m.status.Applied[owner] = 1
+		}
+		m.mu.Unlock()
+	}
+	members[owner].setHealthy(false)
+
+	waitFor(t, "failover override", func() bool {
+		if o, ok := r.overrideFor(owner); ok {
+			return o == best
+		}
+		return false
+	})
+	members[best].mu.Lock()
+	adopted := append([]string(nil), members[best].adopted...)
+	members[best].mu.Unlock()
+	if len(adopted) == 0 || adopted[0] != owner {
+		t.Fatalf("adopter %s adopted %v", best, adopted)
+	}
+
+	// fits for the dead owner's partition now land on the adopter
+	w := postJSON(r.Handler(), "/v1/fit", `{"scheme":"s","compressor":"c"}`, nil)
+	if w.Code != http.StatusAccepted || w.Header().Get("X-Served-By") != best {
+		t.Fatalf("fit after failover = %d served by %s", w.Code, w.Header().Get("X-Served-By"))
+	}
+
+	// the owner comes back: the override clears and it takes the
+	// partition again
+	members[owner].setHealthy(true)
+	waitFor(t, "owner reinstated", func() bool {
+		_, ok := r.overrideFor(owner)
+		return !ok
+	})
+}
+
+func TestRouterShedsFitWhileFailoverPending(t *testing.T) {
+	members := threeMembers()
+	for _, m := range members {
+		m.adoptErr = true // no adoption can succeed
+	}
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+
+	owner := r.ring.Owner(PartitionKey("s", "c"))
+	members[owner].setHealthy(false)
+	waitFor(t, "owner marked dead", func() bool {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.members[owner].br.State() == health.StateOpen
+	})
+
+	// no adopter: fits must shed with a well-formed 503, never hang and
+	// never land on a non-owner
+	w := postJSON(r.Handler(), "/v1/fit", `{"scheme":"s","compressor":"c"}`, nil)
+	checkWellFormed(t, w)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fit with dead owner = %d: %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "failover pending") {
+		t.Errorf("body = %s", w.Body)
+	}
+	for name, m := range members {
+		m.mu.Lock()
+		fits := m.fits
+		m.mu.Unlock()
+		if name != owner && fits != 0 {
+			t.Errorf("non-owner %s received a fit during failover", name)
+		}
+	}
+	// predictions still flow to surviving replicas
+	w = postJSON(r.Handler(), "/v1/predict", `{"scheme":"s","compressor":"c"}`, nil)
+	if w.Code != http.StatusOK {
+		t.Errorf("predict during failover = %d", w.Code)
+	}
+}
+
+func TestRouterStalenessBound(t *testing.T) {
+	members := threeMembers()
+	// router not started: breakers stay closed (live), and we control the
+	// replication positions directly
+	cfg := RouterConfig{Members: map[string]string{}, FailThreshold: 100}
+	for name, m := range members {
+		cfg.Members[name] = m.srv.URL
+		defer m.srv.Close()
+	}
+	r := NewRouter(cfg)
+
+	pk := PartitionKey("s", "c")
+	owner := r.ring.Owner(pk)
+	reps := r.ring.Replicas(pk, len(members))
+	follower := reps[1]
+	r.mu.Lock()
+	r.members[owner].lastSeq = 10
+	for _, name := range reps[1:] {
+		r.members[name].applied = map[string]uint64{owner: 4} // 6 behind
+	}
+	r.mu.Unlock()
+	// kill the owner's backend so only followers can answer
+	members[owner].srv.Close()
+
+	// bound 3 < lag 6: no follower qualifies, owner is unreachable
+	w := postJSON(r.Handler(), "/v1/predict", `{"scheme":"s","compressor":"c"}`,
+		map[string]string{"X-Max-Staleness": "3"})
+	checkWellFormed(t, w)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("predict under tight staleness = %d", w.Code)
+	}
+
+	// bound 10 ≥ lag 6: a follower serves, and the response reports its lag
+	w = postJSON(r.Handler(), "/v1/predict", `{"scheme":"s","compressor":"c"}`,
+		map[string]string{"X-Max-Staleness": "10"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict under loose staleness = %d: %s", w.Code, w.Body)
+	}
+	if by := w.Header().Get("X-Served-By"); by == owner {
+		t.Errorf("dead owner served the request")
+	} else if by != follower && w.Header().Get("X-Replica-Staleness") != "6" {
+		t.Errorf("staleness header = %q from %s", w.Header().Get("X-Replica-Staleness"), by)
+	}
+}
+
+func TestRouterInvalidateBroadcasts(t *testing.T) {
+	members := threeMembers()
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+
+	w := postJSON(r.Handler(), "/v1/invalidate", `{"compressor":"c","keys":["k"]}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("invalidate = %d: %s", w.Code, w.Body)
+	}
+	var out struct {
+		Evicted []string `json:"evicted_models"`
+		Reached int      `json:"members_reached"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Reached != 3 || len(out.Evicted) != 3 {
+		t.Errorf("invalidate merged %+v", out)
+	}
+}
+
+func TestRouterJobsFanOut(t *testing.T) {
+	members := threeMembers()
+	members["n2"].hasJob = true
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/job-n2-1", nil)
+	w := httptest.NewRecorder()
+	r.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Header().Get("X-Served-By") != "n2" {
+		t.Fatalf("jobs fan-out = %d served by %q", w.Code, w.Header().Get("X-Served-By"))
+	}
+
+	members["n2"].mu.Lock()
+	members["n2"].hasJob = false
+	members["n2"].mu.Unlock()
+	w = httptest.NewRecorder()
+	r.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/jobs/job-x", nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("missing job = %d", w.Code)
+	}
+}
+
+func TestRouterDegradesWellFormedWhenAllDead(t *testing.T) {
+	members := threeMembers()
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+	for _, m := range members {
+		m.setHealthy(false)
+	}
+	waitFor(t, "all members dead", func() bool { return len(r.liveMembers()) == 0 })
+
+	h := r.Handler()
+	for _, probe := range []func() *httptest.ResponseRecorder{
+		func() *httptest.ResponseRecorder {
+			return postJSON(h, "/v1/predict", `{"scheme":"s","compressor":"c"}`, nil)
+		},
+		func() *httptest.ResponseRecorder {
+			return postJSON(h, "/v1/fit", `{"scheme":"s","compressor":"c"}`, nil)
+		},
+		func() *httptest.ResponseRecorder {
+			return postJSON(h, "/v1/invalidate", `{}`, nil)
+		},
+		func() *httptest.ResponseRecorder {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+			return w
+		},
+	} {
+		w := probe()
+		checkWellFormed(t, w)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Errorf("all-dead response = %d: %s", w.Code, w.Body)
+		}
+	}
+}
+
+func TestRouterStatusDocument(t *testing.T) {
+	members := threeMembers()
+	r := startRouter(t, members, nil)
+	waitFor(t, "all members live", func() bool { return len(r.liveMembers()) == 3 })
+
+	w := httptest.NewRecorder()
+	r.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/router/status", nil))
+	var st RouterStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 3 || st.Members["n1"] != health.StateClosed {
+		t.Errorf("status = %+v", st)
+	}
+}

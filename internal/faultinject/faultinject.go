@@ -60,14 +60,26 @@ const (
 	OpFSTruncate Op = "fs-truncate" // FS.Truncate / File.Truncate
 )
 
+// Fault points of the network seam (RoundTripper) and the cluster
+// replication path; key is host+path for http, "stream/seq" for the
+// replication points.
+const (
+	OpHTTP      Op = "http"       // RoundTripper: before an HTTP request leaves
+	OpReplShip  Op = "repl-ship"  // cluster: owner serving one log frame to a follower
+	OpReplApply Op = "repl-apply" // cluster: follower about to apply one shipped frame
+)
+
 // Fault kinds.
 const (
-	KindError  = "error"  // the operation fails with ErrInjected
-	KindDelay  = "delay"  // the operation is delayed (straggler)
-	KindReset  = "reset"  // a connection-level failure (pool drops the client)
-	KindCrash  = "crash"  // the process "dies" here (store leaves partial state)
-	KindShort  = "short"  // fs-write only: a torn prefix lands, then io.ErrShortWrite
-	KindENOSPC = "enospc" // the device is "full": partial write + ENOSPC
+	KindError     = "error"       // the operation fails with ErrInjected
+	KindDelay     = "delay"       // the operation is delayed (straggler)
+	KindReset     = "reset"       // a connection-level failure (pool drops the client)
+	KindCrash     = "crash"       // the process "dies" here (store leaves partial state)
+	KindShort     = "short"       // fs-write only: a torn prefix lands, then io.ErrShortWrite
+	KindENOSPC    = "enospc"      // the device is "full": partial write + ENOSPC
+	KindPartition = "partition"   // http only: the peer is unreachable (connection refused)
+	KindDrop      = "drop"        // http only: the request is blackholed until the caller's deadline
+	KindSlow      = "slow-stream" // http only: the response body trickles (per-chunk delay)
 )
 
 // ErrInjected is the base error of every injected failure; match it with
@@ -87,6 +99,16 @@ var ErrShortWrite = fmt.Errorf("%w (%w)", ErrInjected, io.ErrShortWrite)
 // ErrNoSpace marks an enospc-kind injection; it wraps both ErrInjected
 // and syscall.ENOSPC so callers can match either.
 var ErrNoSpace = fmt.Errorf("%w (%w)", ErrInjected, syscall.ENOSPC)
+
+// ErrPartition marks a partition-kind injection: the peer is
+// unreachable at the connection level. It wraps both ErrInjected and
+// syscall.ECONNREFUSED so network-error matching treats it like a real
+// refused dial.
+var ErrPartition = fmt.Errorf("%w (%w)", ErrInjected, syscall.ECONNREFUSED)
+
+// ErrDropped marks a drop-kind injection: the request was blackholed
+// and the caller's deadline is what surfaced it.
+var ErrDropped = fmt.Errorf("%w (request dropped)", ErrInjected)
 
 // Rule scripts one fault. Zero-valued matchers match everything.
 type Rule struct {
@@ -118,6 +140,9 @@ type Decision struct {
 	Err error
 	// Delay, when positive, is slept before proceeding.
 	Delay time.Duration
+	// Slow, when positive, is the per-chunk delay a slow-stream rule
+	// imposes on the response body (http fault points only).
+	Slow time.Duration
 }
 
 // Event records one fired fault, for replay assertions.
@@ -142,11 +167,26 @@ type ruleState struct {
 // Plan is a live fault-injection plan; safe for concurrent use. The zero
 // Plan (and a nil *Plan) injects nothing.
 type Plan struct {
-	mu    sync.Mutex
-	seed  uint64
-	rng   uint64
-	rules []*ruleState
-	log   []Event
+	mu        sync.Mutex
+	seed      uint64
+	rng       uint64
+	rules     []*ruleState
+	log       []Event
+	crashHook func()
+}
+
+// SetCrashHook installs a callback invoked (outside the plan lock)
+// whenever a crash-kind rule fires. The multi-process cluster harness
+// uses it to turn an injected crash into real process death
+// (os.Exit) at an exact seeded operation — kill -9 with deterministic
+// timing. In-process harnesses leave it nil and obey Decision.Err.
+func (p *Plan) SetCrashHook(hook func()) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.crashHook = hook
+	p.mu.Unlock()
 }
 
 // New builds a plan from rules with the given seed for Rate draws.
@@ -176,11 +216,10 @@ func (p *Plan) Fire(op Op, worker int, key string) Decision {
 		return Decision{}
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	var d Decision
 	kindRank := map[string]int{
-		KindDelay: 1, KindError: 2, KindShort: 3, KindENOSPC: 4,
-		KindReset: 5, KindCrash: 6,
+		KindDelay: 1, KindSlow: 1, KindError: 2, KindShort: 3, KindENOSPC: 4,
+		KindDrop: 5, KindPartition: 6, KindReset: 7, KindCrash: 8,
 	}
 	best := 0
 	for _, rs := range p.rules {
@@ -211,6 +250,8 @@ func (p *Plan) Fire(op Op, worker int, key string) Decision {
 		switch r.Kind {
 		case KindDelay:
 			d.Delay += r.Delay
+		case KindSlow:
+			d.Slow += r.Delay
 		default:
 			if kindRank[r.Kind] > best {
 				best = kindRank[r.Kind]
@@ -223,11 +264,20 @@ func (p *Plan) Fire(op Op, worker int, key string) Decision {
 					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrShortWrite)
 				case KindENOSPC:
 					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrNoSpace)
+				case KindPartition:
+					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrPartition)
+				case KindDrop:
+					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrDropped)
 				default:
 					d.Err = fmt.Errorf("%s %q: %w", op, key, ErrInjected)
 				}
 			}
 		}
+	}
+	hook := p.crashHook
+	p.mu.Unlock()
+	if hook != nil && d.Err != nil && errors.Is(d.Err, ErrCrash) {
+		hook()
 	}
 	return d
 }
@@ -297,27 +347,28 @@ func Parse(seed uint64, text string) (*Plan, error) {
 		r := Rule{Op: Op(fields[0]), Worker: -1}
 		switch r.Op {
 		case OpTask, OpDial, OpCall, OpPutBefore, OpPutAfter, OpCompactBefore, OpCompactAfter,
-			OpFSOpen, OpFSWrite, OpFSSync, OpFSRename, OpFSRemove, OpFSTruncate:
+			OpFSOpen, OpFSWrite, OpFSSync, OpFSRename, OpFSRemove, OpFSTruncate,
+			OpHTTP, OpReplShip, OpReplApply:
 		default:
 			return nil, fmt.Errorf("faultinject: unknown op %q", fields[0])
 		}
 		kind, dur, hasDur := strings.Cut(fields[1], "=")
 		switch kind {
-		case KindError, KindReset, KindCrash, KindShort, KindENOSPC:
+		case KindError, KindReset, KindCrash, KindShort, KindENOSPC, KindPartition, KindDrop:
 			if hasDur {
 				return nil, fmt.Errorf("faultinject: kind %q takes no value", kind)
 			}
-		case KindDelay:
+		case KindDelay, KindSlow:
 			if !hasDur {
-				return nil, fmt.Errorf("faultinject: delay needs a duration, e.g. delay=200ms")
+				return nil, fmt.Errorf("faultinject: %s needs a duration, e.g. %s=200ms", kind, kind)
 			}
 			d, err := time.ParseDuration(dur)
 			if err != nil {
-				return nil, fmt.Errorf("faultinject: bad delay %q: %w", dur, err)
+				return nil, fmt.Errorf("faultinject: bad %s %q: %w", kind, dur, err)
 			}
 			r.Delay = d
 		default:
-			return nil, fmt.Errorf("faultinject: unknown kind %q (want error|delay|reset|crash|short|enospc)", kind)
+			return nil, fmt.Errorf("faultinject: unknown kind %q (want error|delay|reset|crash|short|enospc|partition|drop|slow-stream)", kind)
 		}
 		r.Kind = kind
 		for _, kv := range fields[2:] {

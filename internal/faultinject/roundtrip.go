@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// dropCap bounds how long a drop-kind rule blackholes a request whose
+// context carries no deadline, so a misconfigured client cannot wedge a
+// test forever.
+const dropCap = 30 * time.Second
+
+// RoundTripper is the network seam of the fault framework: an
+// http.RoundTripper that consults a Plan at OpHTTP before delegating to
+// Base. The key presented to the plan is host+path (e.g.
+// "127.0.0.1:7001/v1/repl/stream"), so rules can target one peer, one
+// endpoint, or both.
+//
+// Kind semantics at this seam:
+//
+//	partition    the request fails immediately with ErrPartition
+//	reset        the request fails immediately with ErrReset
+//	error/crash  the request fails with the usual injected error
+//	drop         the request blackholes: blocks until the request
+//	             context is done (capped at 30s), then fails with
+//	             ErrDropped
+//	delay=D      the request is held D before leaving (ctx-abortable)
+//	slow-stream=D the response body trickles: each read chunk is capped
+//	             at 4 KiB and preceded by a D pause
+//
+// A nil Plan (or a nil *RoundTripper) is inert passthrough.
+type RoundTripper struct {
+	// Plan is consulted before every request; nil injects nothing.
+	Plan *Plan
+	// Base performs the real request; nil means http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := http.RoundTripper(http.DefaultTransport)
+	if t != nil && t.Base != nil {
+		base = t.Base
+	}
+	if t == nil || t.Plan == nil {
+		return base.RoundTrip(req)
+	}
+	key := req.URL.Host + req.URL.Path
+	d := t.Plan.Fire(OpHTTP, -1, key)
+	if d.Delay > 0 {
+		if err := sleepCtx(req.Context(), d.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if d.Err != nil {
+		if errors.Is(d.Err, ErrDropped) {
+			return nil, blackhole(req.Context(), d.Err)
+		}
+		return nil, fmt.Errorf("faultinject: http %s: %w", key, d.Err)
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.Slow > 0 {
+		resp.Body = &slowBody{rc: resp.Body, ctx: req.Context(), pause: d.Slow}
+	}
+	return resp, nil
+}
+
+// blackhole waits for the request context (or the drop cap) and returns
+// the injected error wrapped with whatever surfaced it.
+func blackhole(ctx context.Context, injected error) error {
+	timer := time.NewTimer(dropCap)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", injected, ctx.Err())
+	case <-timer.C:
+		return fmt.Errorf("%w: drop cap %s elapsed", injected, dropCap)
+	}
+}
+
+// sleepCtx sleeps d or returns early with the context error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// slowChunk caps how many bytes one slowBody.Read returns, so the
+// per-chunk pause is applied many times over a large response.
+const slowChunk = 4096
+
+// slowBody trickles an http response body: each Read is preceded by a
+// pause and returns at most slowChunk bytes. The pause is abortable by
+// the request context, so a client with a deadline still observes it.
+type slowBody struct {
+	rc    io.ReadCloser
+	ctx   context.Context
+	pause time.Duration
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if err := sleepCtx(s.ctx, s.pause); err != nil {
+		return 0, err
+	}
+	if len(p) > slowChunk {
+		p = p[:slowChunk]
+	}
+	return s.rc.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }

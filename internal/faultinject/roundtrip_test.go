@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseNetworkOpsAndKinds(t *testing.T) {
+	p, err := Parse(7, `
+		http partition key=n2/ at=1
+		http drop count=2
+		repl-ship error at=3
+		repl-apply slow-stream=5ms
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := p.Rules()
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	if rules[0].Op != OpHTTP || rules[0].Kind != KindPartition {
+		t.Errorf("rule 0 = %+v", rules[0])
+	}
+	if rules[3].Op != OpReplApply || rules[3].Kind != KindSlow || rules[3].Delay != 5*time.Millisecond {
+		t.Errorf("rule 3 = %+v", rules[3])
+	}
+	if _, err := Parse(1, "http slow-stream"); err == nil {
+		t.Error("slow-stream without a duration parsed")
+	}
+	if _, err := Parse(1, "bogus-op error"); err == nil {
+		t.Error("unknown op parsed")
+	}
+}
+
+func TestPartitionLooksLikeConnRefused(t *testing.T) {
+	p := New(1, Rule{Op: OpHTTP, Kind: KindPartition, Worker: -1})
+	d := p.Fire(OpHTTP, -1, "host/path")
+	if !errors.Is(d.Err, ErrPartition) || !errors.Is(d.Err, syscall.ECONNREFUSED) {
+		t.Errorf("partition decision = %v", d.Err)
+	}
+}
+
+func TestRoundTripperPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Transport: &RoundTripper{Plan: nil}}
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestRoundTripperPartitionAndKeyScoping(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	// the rule keys on the path, so /dead is cut but /alive still works
+	p := New(1, Rule{Op: OpHTTP, Kind: KindPartition, Worker: -1, Key: "/dead"})
+	client := &http.Client{Transport: &RoundTripper{Plan: p}}
+
+	if _, err := client.Get(srv.URL + "/dead"); err == nil || !errors.Is(err, ErrPartition) {
+		t.Fatalf("partitioned request = %v, want ErrPartition", err)
+	}
+	resp, err := client.Get(srv.URL + "/alive")
+	if err != nil {
+		t.Fatalf("unscoped path also failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestRoundTripperDropBlocksUntilContextDone(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	p := New(1, Rule{Op: OpHTTP, Kind: KindDrop, Worker: -1})
+	client := &http.Client{Transport: &RoundTripper{Plan: p}}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("drop returned after %v, want it to hang until the deadline", elapsed)
+	}
+}
+
+func TestRoundTripperDelayAndSlowBody(t *testing.T) {
+	payload := strings.Repeat("x", 3*slowChunk)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	p := New(1,
+		Rule{Op: OpHTTP, Kind: KindDelay, Delay: 10 * time.Millisecond, Worker: -1, At: 1, Count: 1},
+		Rule{Op: OpHTTP, Kind: KindSlow, Delay: 5 * time.Millisecond, Worker: -1, At: 2},
+	)
+	client := &http.Client{Transport: &RoundTripper{Plan: p}}
+
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("delayed request returned in %v", elapsed)
+	}
+
+	// second request hits the slow-stream rule: 3 chunks * 5ms pause
+	start = time.Now()
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != len(payload) {
+		t.Fatalf("slow body read = %d bytes, %v", len(body), err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("slow-streamed body arrived in %v, want >= 15ms", elapsed)
+	}
+}
+
+func TestCrashHookFires(t *testing.T) {
+	p := New(1, Rule{Op: OpTask, Kind: KindCrash, Worker: -1})
+	fired := false
+	p.SetCrashHook(func() { fired = true })
+	d := p.Fire(OpTask, 0, "k")
+	if !errors.Is(d.Err, ErrCrash) {
+		t.Fatalf("decision = %v", d.Err)
+	}
+	if !fired {
+		t.Error("crash hook did not fire")
+	}
+}

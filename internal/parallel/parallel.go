@@ -50,6 +50,36 @@ func Resolve(n int) int {
 // below it the spawn and synchronization overhead exceeds the work.
 const minGrain = 2048
 
+// Split returns the chunk boundaries For would use for (workers, n):
+// bounds[i]..bounds[i+1] is chunk i, and the boundaries depend only on
+// (workers, n, NumCPU) — never on scheduling. Callers that reduce
+// floating-point partials use it to accumulate per-chunk results into an
+// indexed slice and merge them in chunk order, so the reduced value is
+// identical across runs (float addition is not associative, so merging
+// in completion order is not).
+func Split(workers, n int) []int {
+	if n <= 0 {
+		return []int{0}
+	}
+	workers = Resolve(workers)
+	if max := (n + minGrain - 1) / minGrain; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	bounds := []int{0}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, hi)
+	}
+	return bounds
+}
+
 // For divides [0, n) into at most `workers` contiguous chunks and invokes
 // fn(lo, hi) for each, using pool goroutines when tokens are available and
 // the caller's goroutine otherwise. It returns when every chunk is done.

@@ -234,6 +234,16 @@ func (s *Server) runFit(ctx context.Context, job *FitJob, req *FitRequest, opts 
 	if err != nil {
 		return err
 	}
+	if prev, ok := s.registry.Get(key); ok {
+		// the model landed while we were training — replicated from an
+		// adopter that re-ran the same job. Adopt it rather than publishing
+		// a duplicate.
+		job.mu.Lock()
+		job.samples = prev.Samples
+		job.modelKey = prev.Key
+		job.mu.Unlock()
+		return nil
+	}
 	entry := &ModelEntry{
 		Key:           key,
 		Scheme:        req.Scheme,

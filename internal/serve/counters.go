@@ -29,6 +29,9 @@ type counters struct {
 	evictedCached  uint64
 	evictedJobs    uint64
 	journalErrors  uint64
+
+	fitDurations []float64 // ring of the last latencyWindow fit-execution ms
+	fitNext      int
 }
 
 type endpointCounter struct {
@@ -80,6 +83,39 @@ func (c *counters) evicted(models, cached int) {
 }
 func (c *counters) jobsEvicted(n int) { c.mu.Lock(); c.evictedJobs += uint64(n); c.mu.Unlock() }
 func (c *counters) journalError()     { c.mu.Lock(); c.journalErrors++; c.mu.Unlock() }
+
+// fitObserve records one fit execution's duration (ms) for the adaptive
+// fit Retry-After.
+func (c *counters) fitObserve(ms float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.fitDurations) < latencyWindow {
+		c.fitDurations = append(c.fitDurations, ms)
+	} else {
+		c.fitDurations[c.fitNext] = ms
+		c.fitNext = (c.fitNext + 1) % latencyWindow
+	}
+}
+
+// fitP50 is the median recent fit-execution duration (ms); 0 when no
+// fit has completed yet.
+func (c *counters) fitP50() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return stats.Quantile(c.fitDurations, 0.50)
+}
+
+// latencyP50 is the median recent request latency (ms) on an endpoint;
+// 0 when the endpoint has no samples.
+func (c *counters) latencyP50(endpoint string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep := c.endpoints[endpoint]
+	if ep == nil {
+		return 0
+	}
+	return stats.Quantile(ep.latencies, 0.50)
+}
 
 // EndpointStats is one endpoint's row in the /statz report.
 type EndpointStats struct {

@@ -47,6 +47,7 @@ func JobKey(scheme, compressor string, opts pressio.Options, training TrainingSp
 type jobRecord struct {
 	ID             string     `json:"id"`
 	Key            string     `json:"key"`
+	Node           string     `json:"node,omitempty"`
 	Scheme         string     `json:"scheme"`
 	Compressor     string     `json:"compressor"`
 	Status         string     `json:"status"`
@@ -115,10 +116,11 @@ func (j *journal) load() ([]jobRecord, error) {
 	return recs, nil
 }
 
-// jobSeqOf extracts N from a "job-N" ID (0 for foreign IDs), so a
-// restarted server resumes its ID sequence above every journaled job.
+// jobSeqOf extracts N from a "job-N" or node-scoped "job-<node>-N" ID
+// (0 for foreign IDs), so a restarted server resumes its ID sequence
+// above every journaled job.
 func jobSeqOf(id string) uint64 {
-	n, err := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64)
+	n, err := strconv.ParseUint(id[strings.LastIndex(id, "-")+1:], 10, 64)
 	if err != nil {
 		return 0
 	}

@@ -49,6 +49,14 @@ func (p *workerPool) trySubmit(task func()) bool {
 	}
 }
 
+// pending reports how many submitted tasks are still waiting for a
+// worker — the queue-depth input of the adaptive Retry-After.
+func (p *workerPool) pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.tasks)
+}
+
 // isClosed reports whether drain has begun (no new work is accepted).
 func (p *workerPool) isClosed() bool {
 	p.mu.Lock()

@@ -117,6 +117,36 @@ func (r *Registry) Put(e *ModelEntry) error {
 	return nil
 }
 
+// Absorb publishes a replicated entry to readers without touching the
+// store: the shipped WAL frame carrying raw has already been applied to
+// the local store by the replication layer, so only the memory cache
+// needs the update. The payload's CRC was validated frame-level before
+// apply; a gob decode failure here means a schema mismatch and is
+// returned rather than served.
+func (r *Registry) Absorb(key string, raw []byte) error {
+	var e ModelEntry
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&e); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mem[key] = &e
+	if e.Seq > r.seq {
+		// replicated entries advance the seq high-water mark so models
+		// published here after an adoption never collide below it
+		r.seq = e.Seq
+	}
+	return nil
+}
+
+// Forget drops a replicated deletion from the memory cache (the store
+// deletion was already applied by the replication layer).
+func (r *Registry) Forget(key string) {
+	r.mu.Lock()
+	delete(r.mem, key)
+	r.mu.Unlock()
+}
+
 // Get returns the entry stored under key.
 func (r *Registry) Get(key string) (*ModelEntry, bool) {
 	r.mu.RLock()

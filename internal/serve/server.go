@@ -2,11 +2,15 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +56,18 @@ type Config struct {
 	// negative control, which proves the journal is what carries the
 	// no-lost-job invariant).
 	DisableJournal bool
+	// NodeName identifies this predictd in a replicated cluster. It is
+	// stamped into fit-job IDs ("job-<node>-N") and journal records, so
+	// recovery replays only this node's jobs: a peer's records arrive
+	// via replication and stay read-only until explicitly adopted.
+	// Empty means standalone.
+	NodeName string
+	// AckBarrier, when set, must return nil before a fit job is
+	// acknowledged with 202. Cluster nodes use it to wait until the
+	// journaled record is durable on a follower, so the 202 promise
+	// survives losing this node entirely. A barrier failure withdraws
+	// the job (503 + Retry-After; the client retries idempotently).
+	AckBarrier func(ctx context.Context) error
 
 	// testHookPredict, when set, runs inside every uncached predict
 	// computation — tests use it to hold worker slots busy.
@@ -96,6 +112,7 @@ func (c *Config) defaults() {
 type FitJob struct {
 	ID         string
 	Key        string
+	Node       string
 	Scheme     string
 	Compressor string
 	Request    FitRequest
@@ -158,7 +175,7 @@ func (j *FitJob) record() jobRecord {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	rec := jobRecord{
-		ID: j.ID, Key: j.Key, Scheme: j.Scheme, Compressor: j.Compressor,
+		ID: j.ID, Key: j.Key, Node: j.Node, Scheme: j.Scheme, Compressor: j.Compressor,
 		Status: j.status, Error: j.errMsg, Model: j.modelKey,
 		Samples: j.samples, Request: j.Request,
 	}
@@ -244,8 +261,15 @@ func (s *Server) Recover(ctx context.Context) error {
 	s.jobMu.Lock()
 	for i := range recs {
 		rec := &recs[i]
+		if rec.Node != s.cfg.NodeName {
+			// a replicated peer's record: it is that node's job (or its
+			// adopter's) until Adopt re-authors it. Touching it here —
+			// even loading it for TTL sweeping — would let this node
+			// delete a live peer's journal entry through replication.
+			continue
+		}
 		job := &FitJob{
-			ID: rec.ID, Key: rec.Key, Scheme: rec.Scheme, Compressor: rec.Compressor,
+			ID: rec.ID, Key: rec.Key, Node: rec.Node, Scheme: rec.Scheme, Compressor: rec.Compressor,
 			Request: rec.Request, status: rec.Status, errMsg: rec.Error,
 			modelKey: rec.Model, samples: rec.Samples,
 		}
@@ -335,6 +359,63 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) i
 	return writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// maxBodyBytes caps a JSON request body: a client streaming an
+// unbounded body must not pin a connection (and its decode buffer)
+// indefinitely.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes a bounded JSON request body; the returned status
+// distinguishes an oversized body (413) from a malformed one (400).
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+	}
+	return 0, nil
+}
+
+// retryAfterPredict derives an honest Retry-After for the predict path
+// from live backpressure state: the work queued ahead of a retry times
+// the recent per-request latency, spread over the workers. Clamped to
+// [1, 30] seconds so a cold or idle server still answers "1".
+func (s *Server) retryAfterPredict() string {
+	depth := s.pool.pending()
+	p50 := s.stats.latencyP50("/v1/predict")
+	if p50 <= 0 {
+		p50 = 100 // no samples yet: assume a cheap request
+	}
+	secs := int(math.Ceil(float64(depth+1) * p50 / 1e3 / float64(s.cfg.Workers)))
+	return strconv.Itoa(clampInt(secs, 1, 30))
+}
+
+// retryAfterFit is the fit-path analogue of retryAfterPredict, using
+// tracked fit execution durations (fits run seconds-to-minutes, so the
+// clamp is [2, 120]).
+func (s *Server) retryAfterFit() string {
+	depth := s.fitPool.pending()
+	p50 := s.stats.fitP50()
+	if p50 <= 0 {
+		return "2" // nothing measured yet
+	}
+	secs := int(math.Ceil(float64(depth+1) * p50 / 1e3 / float64(s.cfg.FitWorkers)))
+	return strconv.Itoa(clampInt(secs, 2, 120))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // errSaturated is the backpressure sentinel the predict path maps to 429.
 var errSaturated = errors.New("serve: worker pool saturated")
 
@@ -343,12 +424,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusMethodNotAllowed, "POST only")
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterPredict())
 		return writeError(w, http.StatusServiceUnavailable, "draining")
 	}
 	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if status, err := decodeJSON(w, r, &req); err != nil {
+		return writeError(w, status, "%v", err)
 	}
 	if req.Scheme == "" || req.Compressor == "" {
 		return writeError(w, http.StatusBadRequest, "scheme and compressor are required")
@@ -442,7 +523,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 		switch {
 		case errors.Is(out.err, errSaturated):
 			s.stats.reject()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterPredict())
 			return writeError(w, http.StatusTooManyRequests, "saturated: %d workers busy, queue full", s.cfg.Workers)
 		case out.err != nil:
 			return writeError(w, http.StatusBadRequest, "%v", out.err)
@@ -488,7 +569,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusMethodNotAllowed, "POST only")
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterFit())
 		return writeError(w, http.StatusServiceUnavailable, "draining")
 	}
 	if s.replaying.Load() {
@@ -498,8 +579,8 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusServiceUnavailable, "replaying job journal")
 	}
 	var req FitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if status, err := decodeJSON(w, r, &req); err != nil {
+		return writeError(w, status, "%v", err)
 	}
 	scheme, err := core.GetScheme(req.Scheme)
 	if err != nil {
@@ -548,9 +629,13 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
 		}
 	}
 	s.jobSeq++
+	id := fmt.Sprintf("job-%d", s.jobSeq)
+	if s.cfg.NodeName != "" {
+		id = fmt.Sprintf("job-%s-%d", s.cfg.NodeName, s.jobSeq)
+	}
 	job := &FitJob{
-		ID:  fmt.Sprintf("job-%d", s.jobSeq),
-		Key: key, Scheme: req.Scheme, Compressor: req.Compressor,
+		ID:  id,
+		Key: key, Node: s.cfg.NodeName, Scheme: req.Scheme, Compressor: req.Compressor,
 		Request: req,
 		status:  "queued",
 	}
@@ -564,11 +649,21 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) int {
 		s.unregisterJob(job)
 		return writeError(w, http.StatusInternalServerError, "journal: %v", err)
 	}
+	// in cluster mode the 202 additionally promises the job survives
+	// losing this node, so the record must replicate before the ack
+	if s.cfg.AckBarrier != nil {
+		if err := s.cfg.AckBarrier(r.Context()); err != nil {
+			s.unregisterJob(job)
+			s.journal.remove(job.Key) // never acknowledged: withdraw the record
+			w.Header().Set("Retry-After", s.retryAfterFit())
+			return writeError(w, http.StatusServiceUnavailable, "replication barrier: %v", err)
+		}
+	}
 	if !s.enqueueFit(job) {
 		s.unregisterJob(job)
 		s.journal.remove(job.Key) // never acknowledged: withdraw the record
 		s.stats.reject()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfterFit())
 		return writeError(w, http.StatusTooManyRequests, "fit queue full")
 	}
 	s.sweepJobs()
@@ -608,6 +703,7 @@ func (s *Server) enqueueFit(job *FitJob) bool {
 // transition. Journal failures past the queued ack are counted but do
 // not abort the job: the queued record already guarantees a replay.
 func (s *Server) executeFit(job *FitJob) {
+	start := s.now()
 	job.setStatus("running", "")
 	s.journalJob(job)
 	if s.cfg.testHookFit != nil {
@@ -621,6 +717,7 @@ func (s *Server) executeFit(job *FitJob) {
 	} else {
 		job.finish("done", "", s.now())
 	}
+	s.stats.fitObserve(s.now().Sub(start).Seconds() * 1e3)
 	s.journalJob(job)
 	s.sweepJobs()
 }
@@ -692,7 +789,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, job.view())
 }
 
-// modelView is a ModelEntry listing without the state payload.
+// modelView is a ModelEntry listing without the state payload. The
+// state digest lets cluster replicas (and their tests) compare model
+// bytes across nodes without shipping the state itself.
 type modelView struct {
 	Key        string   `json:"key"`
 	Scheme     string   `json:"scheme"`
@@ -702,6 +801,7 @@ type modelView struct {
 	Features   []string `json:"features"`
 	Samples    int      `json:"samples"`
 	StateBytes int      `json:"state_bytes"`
+	StateSHA   string   `json:"state_sha256"`
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
@@ -711,10 +811,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
 	entries := s.registry.List()
 	out := make([]modelView, len(entries))
 	for i, e := range entries {
+		sum := sha256.Sum256(e.State)
 		out[i] = modelView{
 			Key: e.Key, Scheme: e.Scheme, Compressor: e.Compressor,
 			Predictor: e.PredictorName, Target: e.Target,
 			Features: e.Features, Samples: e.Samples, StateBytes: len(e.State),
+			StateSHA: hex.EncodeToString(sum[:]),
 		}
 	}
 	return writeJSON(w, http.StatusOK, out)
@@ -725,8 +827,8 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusMethodNotAllowed, "POST only")
 	}
 	var req InvalidateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if status, err := decodeJSON(w, r, &req); err != nil {
+		return writeError(w, status, "%v", err)
 	}
 	if len(req.Keys) == 0 {
 		return writeError(w, http.StatusBadRequest, "keys required")

@@ -177,9 +177,14 @@ func QuantizedEntropy(xs []float64, absBound float64) float64 {
 		for _, v := range xs {
 			exact[v]++
 		}
-		cs := make([]uint64, 0, len(exact))
-		for _, c := range exact {
-			cs = append(cs, c)
+		keys := make([]float64, 0, len(exact))
+		for k := range exact {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		cs := make([]uint64, 0, len(keys))
+		for _, k := range keys {
+			cs = append(cs, exact[k])
 		}
 		return EntropyFromCounts(cs)
 	}
@@ -187,9 +192,15 @@ func QuantizedEntropy(xs []float64, absBound float64) float64 {
 	for _, v := range xs {
 		counts[int64(math.Floor(v/q))]++
 	}
-	cs := make([]uint64, 0, len(counts))
-	for _, c := range counts {
-		cs = append(cs, c)
+	// key order, not map order: the float reduction must be reproducible
+	keys := make([]int64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	cs := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		cs = append(cs, counts[k])
 	}
 	return EntropyFromCounts(cs)
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/parallel"
@@ -162,11 +163,26 @@ func Summarize(d *pressio.Data, bins, workers int) *Summary {
 		return s
 	}
 
-	// sweep 1: min/max/sum/zeros in parallel chunks over the native type
-	var mu sync.Mutex
+	// sweep 1: min/max/sum/zeros in parallel chunks over the native type.
+	// Partials land in a chunk-indexed slice and merge sequentially in
+	// chunk order: float sums merged in completion order would make Mean
+	// (and everything derived from it) vary run to run, and replicated
+	// predictd relies on refitting a model being byte-reproducible.
+	bounds := parallel.Split(workers, n)
+	accs := make([]momentAcc, len(bounds)-1)
+	parallel.ForTasks(workers, len(accs), func(ci int) {
+		lo, hi := bounds[ci], bounds[ci+1]
+		switch d.DType() {
+		case pressio.DTypeFloat32:
+			accs[ci] = momentsF32(d.Float32(), lo, hi)
+		case pressio.DTypeFloat64:
+			accs[ci] = momentsF64(d.Float64(), lo, hi)
+		default:
+			accs[ci] = sweepMoments(d.At, lo, hi)
+		}
+	})
 	total := momentAcc{min: math.Inf(1), max: math.Inf(-1)}
-	merge := func(acc momentAcc) {
-		mu.Lock()
+	for _, acc := range accs {
 		if acc.min < total.min {
 			total.min = acc.min
 		}
@@ -178,18 +194,7 @@ func Summarize(d *pressio.Data, bins, workers int) *Summary {
 		total.zeros += acc.zeros
 		total.nans += acc.nans
 		total.infs += acc.infs
-		mu.Unlock()
 	}
-	parallel.For(workers, n, func(lo, hi int) {
-		switch d.DType() {
-		case pressio.DTypeFloat32:
-			merge(momentsF32(d.Float32(), lo, hi))
-		case pressio.DTypeFloat64:
-			merge(momentsF64(d.Float64(), lo, hi))
-		default:
-			merge(sweepMoments(d.At, lo, hi))
-		}
-	})
 	s.ZeroCount = total.zeros
 	s.NaNCount = total.nans
 	s.InfCount = total.infs
@@ -212,22 +217,13 @@ func Summarize(d *pressio.Data, bins, workers int) *Summary {
 	if bins > 0 && !degenerate {
 		scale = float64(bins) / (hi64 - lo64)
 	}
-	var sumSq float64
 	var hist []uint64
 	if bins > 0 {
 		hist = make([]uint64, bins)
 	}
-	merge2 := func(acc devHistAcc) {
-		mu.Lock()
-		sumSq += acc.sumSq
-		for i, c := range acc.hist {
-			if c != 0 {
-				hist[i] += c
-			}
-		}
-		mu.Unlock()
-	}
-	parallel.For(workers, n, func(clo, chi int) {
+	accs2 := make([]devHistAcc, len(bounds)-1)
+	parallel.ForTasks(workers, len(accs2), func(ci int) {
+		clo, chi := bounds[ci], bounds[ci+1]
 		acc := devHistAcc{}
 		if bins > 0 {
 			acc.hist = make([]uint64, bins)
@@ -267,8 +263,17 @@ func Summarize(d *pressio.Data, bins, workers int) *Summary {
 				sweep(at(i))
 			}
 		}
-		merge2(acc)
+		accs2[ci] = acc
 	})
+	var sumSq float64
+	for _, acc := range accs2 {
+		sumSq += acc.sumSq
+		for i, c := range acc.hist {
+			if c != 0 {
+				hist[i] += c
+			}
+		}
+	}
 	s.Std = math.Sqrt(sumSq / float64(total.n))
 	s.Hist = hist
 	return s
@@ -505,9 +510,16 @@ func quantizedEntropyData(d *pressio.Data, abs float64, workers int) float64 {
 		}
 		mu.Unlock()
 	})
-	cs := make([]uint64, 0, len(counts))
-	for _, c := range counts {
-		cs = append(cs, c)
+	// reduce in key order: summing -p·log2(p) in map iteration order would
+	// make the entropy vary in its last bits from run to run
+	keys := make([]int64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	cs := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		cs = append(cs, counts[k])
 	}
 	return EntropyFromCounts(cs)
 }

@@ -42,6 +42,37 @@ const (
 	opDelete = byte(2)
 )
 
+// Exported frame operation codes — the replication layer ships the
+// store's CRC-framed WAL records verbatim between cluster nodes.
+const (
+	FramePut    = opPut
+	FrameDelete = opDelete
+)
+
+// Frame is one WAL record in exported form: the unit of replication.
+// EncodeFrame/DecodeFrame use the exact on-disk framing (u32 CRC over
+// the body), so a shipped frame is validated by the same checksum logic
+// Fsck applies to the local log.
+type Frame struct {
+	Op    byte
+	Key   string
+	Value []byte
+}
+
+// EncodeFrame frames one operation exactly as the WAL does.
+func EncodeFrame(f Frame) []byte { return encodeRecord(f.Op, f.Key, f.Value) }
+
+// DecodeFrame decodes and CRC-validates one frame from the head of buf,
+// returning the frame and its encoded length. io.ErrUnexpectedEOF means
+// a torn frame; a checksum error means corruption.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	rec, n, err := decodeRecord(buf)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return Frame{Op: rec.op, Key: rec.key, Value: rec.value}, n, nil
+}
+
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
@@ -62,6 +93,9 @@ type Store struct {
 	// re-runs cheaply relative to fsync-per-record at scale; predictd
 	// turns it on so acknowledged fit jobs survive power loss.
 	Sync bool
+	// mirror, when set, observes every locally-authored durable
+	// mutation (see SetMirror).
+	mirror func(Frame) error
 	// Inject scripts crashes at the store's durability boundaries
 	// (tests only). A crash-kind rule at OpPutBefore aborts before the
 	// WAL append (the record is lost, as a real crash there would lose
@@ -257,10 +291,29 @@ func (s *Store) healTail() {
 	}
 }
 
+// SetMirror installs the replication hook: every successful locally-
+// authored Put/Delete is handed to m as a Frame, under the store lock,
+// after the record is durable in the WAL and applied in memory. The
+// cluster layer uses it to append the mutation to the shippable
+// replication log. A mirror error is surfaced to the caller — the write
+// is locally durable but was not accepted for replication, so the
+// caller must treat the operation as failed and retry (the store's
+// callers are idempotent by design). Mutations applied via Apply (i.e.
+// frames shipped from a peer) never reach the mirror.
+func (s *Store) SetMirror(m func(Frame) error) {
+	s.mu.Lock()
+	s.mirror = m
+	s.mu.Unlock()
+}
+
 // Put durably stores value under key (last write wins).
 func (s *Store) Put(key string, value []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.putLocked(key, value, s.mirror)
+}
+
+func (s *Store) putLocked(key string, value []byte, mirror func(Frame) error) error {
 	if s.closed {
 		return ErrClosed
 	}
@@ -274,7 +327,29 @@ func (s *Store) Put(key string, value []byte) error {
 		return err
 	}
 	s.data[key] = append([]byte(nil), value...)
+	if mirror != nil {
+		if err := mirror(Frame{Op: opPut, Key: key, Value: value}); err != nil {
+			return fmt.Errorf("store: mirror: %w", err)
+		}
+	}
 	return nil
+}
+
+// Apply performs a replicated mutation: identical durability to
+// Put/Delete, but the mirror is not invoked, so frames applied from a
+// peer's shipped log are never re-authored into this node's own
+// replication log. Applying the same frame twice is idempotent.
+func (s *Store) Apply(f Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch f.Op {
+	case opPut:
+		return s.putLocked(f.Key, f.Value, nil)
+	case opDelete:
+		return s.deleteLocked(f.Key, nil)
+	default:
+		return fmt.Errorf("store: apply: unknown frame op %d", f.Op)
+	}
 }
 
 // Get returns the value stored under key.
@@ -295,6 +370,10 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 func (s *Store) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.deleteLocked(key, s.mirror)
+}
+
+func (s *Store) deleteLocked(key string, mirror func(Frame) error) error {
 	if s.closed {
 		return ErrClosed
 	}
@@ -305,6 +384,11 @@ func (s *Store) Delete(key string) error {
 		return err
 	}
 	delete(s.data, key)
+	if mirror != nil {
+		if err := mirror(Frame{Op: opDelete, Key: key}); err != nil {
+			return fmt.Errorf("store: mirror: %w", err)
+		}
+	}
 	return nil
 }
 
