@@ -1,7 +1,7 @@
 GO ?= go
 PRESSIOVET := bin/pressiovet
 
-.PHONY: build test check lint fmt-check serve-check crash-check cluster-check stress bench bench-baseline bench-check clean
+.PHONY: build test check lint fmt-check serve-check crash-check cluster-check scenario-check scenario-baseline stress bench bench-baseline bench-check clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ check: fmt-check
 	$(GO) test -race -short ./...
 	$(MAKE) crash-check
 	$(MAKE) cluster-check
+	$(MAKE) scenario-check
 ifdef BENCH
 	$(MAKE) bench-check
 endif
@@ -63,6 +64,22 @@ crash-check:
 # is lost, no divergent model publish, and graceful router degradation.
 cluster-check:
 	$(GO) test -race -run TestCluster ./internal/cluster/ -v
+
+# scenario-check runs the declarative macro-benchmark harness (DESIGN.md
+# §14) under the race detector: the committed smoke scenario deploys a
+# real 2-node predictd cluster + router, drives the seeded traffic mix,
+# and gates on SLOs, the committed BENCH_system.json baseline (scenario-
+# declared tolerances), and capacity-model conformance. Seeded, so the
+# offered request schedule is identical on every run.
+scenario-check:
+	$(GO) test -race -run TestScenarioSmoke ./internal/scenario/ -v
+
+# scenario-baseline re-runs a scenario and rewrites its entry in the
+# committed BENCH_system.json. Run on a quiet machine and commit.
+# Override the scenario with SCENARIO=scenarios/full.json.
+SCENARIO ?= scenarios/smoke.json
+scenario-baseline:
+	$(GO) run ./cmd/scenariobench -scenario $(SCENARIO) -baseline
 
 stress:
 	$(GO) test -race -run TestStress ./internal/queue/ -v

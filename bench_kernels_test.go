@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/huffman"
+	"repro/internal/hurricane"
 	"repro/internal/pressio"
 	"repro/internal/stats"
 )
@@ -136,6 +137,24 @@ func BenchmarkKernelHuffman(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkKernelHurricaneSynth pins the cost of synthesizing one
+// hurricane field at the benchmark grid. predictd pays this on every
+// predict miss that carries a DataRef (the server materializes the field
+// before feature extraction), so the capacity model in internal/capacity
+// composes this measurement into its predicted per-request cost.
+func BenchmarkKernelHurricaneSynth(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := hurricane.Field("TC", 24, benchDims)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Len() == 0 {
+			b.Fatal("empty field")
+		}
+	}
 }
 
 // BenchmarkKernelFusedSummary pins the single-pass fused extractor on its

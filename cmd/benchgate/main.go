@@ -17,9 +17,10 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
-	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/gate"
 )
 
 // Measurement is one benchmark's gated metrics.
@@ -126,33 +127,35 @@ func runBenchmarks() (map[string]Measurement, string, error) {
 	return results, cpu, nil
 }
 
+// kernelRules is the kernel schema's gate: ns/op and allocs/op both
+// regress upward, with an absolute 0.5-alloc slack so integer alloc
+// counts have a noise band. The comparison itself is the shared
+// internal/gate engine, the same one the system scenario gate
+// (BENCH_system.json) runs on.
+var kernelRules = []gate.Rule{
+	{Metric: "ns_per_op", Worse: gate.HigherIsWorse, Tolerance: tolerance},
+	{Metric: "allocs_per_op", Worse: gate.HigherIsWorse, Tolerance: tolerance, Slack: 0.5},
+}
+
 // compare returns a description of every benchmark whose ns/op or
 // allocs/op regressed past the tolerance, plus baselined benchmarks that
 // disappeared (a deleted benchmark silently ungates its kernel).
 func compare(base, cur map[string]Measurement) []string {
-	var failures []string
-	names := make([]string, 0, len(base))
-	for name := range base {
-		names = append(names, name)
+	fails := gate.Compare(toRows(base), toRows(cur), kernelRules)
+	out := make([]string, len(fails))
+	for i, f := range fails {
+		out[i] = f.String()
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		b := base[name]
-		c, ok := cur[name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: present in baseline but not in current run", name))
-			continue
-		}
-		if c.NsPerOp > b.NsPerOp*(1+tolerance) {
-			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (+%.1f%%, limit +%.0f%%)",
-				name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), tolerance*100))
-		}
-		if c.AllocsPerOp > b.AllocsPerOp*(1+tolerance)+0.5 {
-			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (+%.1f%%, limit +%.0f%%)",
-				name, c.AllocsPerOp, b.AllocsPerOp, 100*(c.AllocsPerOp/b.AllocsPerOp-1), tolerance*100))
-		}
+	return out
+}
+
+// toRows projects the kernel schema into the shared gate row form.
+func toRows(ms map[string]Measurement) map[string]gate.Row {
+	rows := make(map[string]gate.Row, len(ms))
+	for name, m := range ms {
+		rows[name] = gate.Row{"ns_per_op": m.NsPerOp, "allocs_per_op": m.AllocsPerOp}
 	}
-	return failures
+	return rows
 }
 
 func readBaseline(path string) (*Baseline, error) {

@@ -2,9 +2,16 @@
 // raw .f32 files in the naming convention the folder loader parses —
 // standing in for downloading the Hurricane Isabel binaries.
 //
+// Every run writes a MANIFEST.json beside the data recording the
+// generator inputs (fields, steps, dims, seed) and the size + SHA-256 of
+// every file, so a corpus is byte-reproducible and consumers (the
+// scenario harness, a re-run of datagen itself) can verify and reuse it
+// instead of regenerating.
+//
 // Usage:
 //
 //	datagen -out ./hurricane -dims 32x64x64 -steps 48
+//	datagen -out ./smoke -dims 8x8x8 -steps 4 -fields P,TC -seed 7
 package main
 
 import (
@@ -23,6 +30,7 @@ func main() {
 		dims   = flag.String("dims", "32x64x64", "grid dims, ZxYxX")
 		steps  = flag.Int("steps", hurricane.Timesteps, "timesteps to generate")
 		fields = flag.String("fields", "", "comma-separated field subset (default: all 13)")
+		seed   = flag.Uint64("seed", 0, "corpus seed (0 is the canonical dataset predictd synthesizes)")
 	)
 	flag.Parse()
 
@@ -35,32 +43,17 @@ func main() {
 	if *fields != "" {
 		fieldList = cliutil.ParseList(*fields)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+
+	m, cached, err := dataset.BuildCorpus(*out, fieldList, *steps, dimList, *seed)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
-
-	total := 0
-	var bytes int64
-	for _, field := range fieldList {
-		for step := 0; step < *steps; step++ {
-			data, err := hurricane.Field(field, step, dimList)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "datagen:", err)
-				os.Exit(1)
-			}
-			name := fmt.Sprintf("%s.t%02d", field, step)
-			path, err := dataset.WriteRaw(*out, name, data)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "datagen:", err)
-				os.Exit(1)
-			}
-			total++
-			bytes += int64(data.ByteSize())
-			if step == 0 {
-				fmt.Printf("%s ...\n", path)
-			}
-		}
+	if cached {
+		fmt.Printf("reusing %d files (%.1f MiB) in %s (manifest verified)\n",
+			len(m.Entries), float64(m.TotalBytes())/(1<<20), *out)
+		return
 	}
-	fmt.Printf("wrote %d files (%.1f MiB) to %s\n", total, float64(bytes)/(1<<20), *out)
+	fmt.Printf("wrote %d files (%.1f MiB) to %s (seed %d, manifest %s)\n",
+		len(m.Entries), float64(m.TotalBytes())/(1<<20), *out, *seed, dataset.ManifestName)
 }

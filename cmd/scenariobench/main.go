@@ -1,0 +1,159 @@
+// Command scenariobench runs a declarative macro-benchmark scenario
+// against a real multi-process deployment and gates the whole system.
+//
+//	scenariobench -scenario scenarios/smoke.json -baseline
+//	    run the scenario and write/merge its result into BENCH_system.json
+//	scenariobench -scenario scenarios/smoke.json -check
+//	    run it and fail on SLO violation, capacity-model nonconformance,
+//	    or regression past the scenario's gate tolerances vs the baseline
+//	scenariobench -scenario scenarios/full.json -predict-only
+//	    print the capacity model's prediction without deploying anything
+//
+// The scenario file declares everything: topology (N predictd replicas +
+// router), corpus (hurricane fields × steps, manifest-cached), seeded
+// traffic mix, SLOs, gate tolerances, and the capacity model's inputs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		scenarioPath = flag.String("scenario", "", "scenario JSON file (required)")
+		file         = flag.String("file", "BENCH_system.json", "system baseline file")
+		kernels      = flag.String("kernels", "BENCH_kernels.json", "kernel baseline the capacity model reads")
+		baseline     = flag.Bool("baseline", false, "run and write/merge the result into -file")
+		check        = flag.Bool("check", false, "run and gate against -file, SLOs, and the capacity model")
+		predictOnly  = flag.Bool("predict-only", false, "evaluate the capacity model without deploying")
+		bin          = flag.String("bin", "", "prebuilt predictd binary (default: build one)")
+		corpusDir    = flag.String("corpus-dir", "", "corpus cache directory (default: per-scenario under the OS temp dir)")
+	)
+	flag.Parse()
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "scenariobench: -scenario is required")
+		os.Exit(2)
+	}
+	modes := 0
+	for _, m := range []bool{*baseline, *check, *predictOnly} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "scenariobench: exactly one of -baseline, -check, -predict-only is required")
+		os.Exit(2)
+	}
+
+	sc, err := scenario.Load(*scenarioPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *predictOnly {
+		res, err := scenario.PredictOnly(sc, *kernels)
+		if err != nil {
+			fatal(err)
+		}
+		printJSON(res)
+		return
+	}
+
+	ctx := context.Background()
+	binary := *bin
+	if binary == "" {
+		buildDir, err := os.MkdirTemp("", "scenariobench-bin-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(buildDir)
+		fmt.Println("scenariobench: building predictd (race-enabled)...")
+		if binary, err = scenario.BuildPredictd(ctx, ".", buildDir); err != nil {
+			fatal(err)
+		}
+	}
+	workDir, err := os.MkdirTemp("", "scenariobench-"+sc.Name+"-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+	corpus := *corpusDir
+	if corpus == "" {
+		// a stable per-scenario path so the manifest-verified corpus
+		// survives across runs
+		corpus = filepath.Join(os.TempDir(), "scenariobench-corpus", sc.Name)
+	}
+
+	fmt.Printf("scenariobench: running %s (%d nodes, %.0f qps, %.0fs warmup + %.0fs steady)\n",
+		sc.Name, sc.Topology.Nodes, sc.Traffic.TargetQPS, sc.Traffic.WarmupS, sc.Traffic.SteadyS)
+	res, err := scenario.Run(ctx, sc, scenario.RunConfig{
+		Bin:            binary,
+		WorkDir:        workDir,
+		CorpusDir:      corpus,
+		KernelBaseline: *kernels,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenariobench: measured %.1f qps (predicted %.1f), p50 %.1fms p99 %.1fms, %d/%d errors, hit rate %.2f, max rss %d MiB\n",
+		res.Measured.AchievedQPS, res.PredictedQPS, res.Measured.P50MS, res.Measured.P99MS,
+		res.Measured.Errors, res.Measured.Requests, res.Measured.CacheHitRate, res.Measured.MaxRSSBytes>>20)
+
+	if *baseline {
+		doc, err := scenario.ReadDocument(*file)
+		if err != nil {
+			doc = &scenario.Document{Scenarios: map[string]*scenario.SystemResult{}}
+		}
+		doc.Scenarios[sc.Name] = res
+		if err := scenario.WriteDocument(*file, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scenariobench: wrote %s baseline to %s\n", sc.Name, *file)
+		return
+	}
+
+	// -check: SLOs, conformance, then baseline gate
+	failed := false
+	for _, v := range scenario.CheckSLO(res, sc.SLO) {
+		fmt.Fprintln(os.Stderr, "scenariobench: FAIL SLO:", v)
+		failed = true
+	}
+	if err := scenario.CheckConformance(res); err != nil {
+		fmt.Fprintln(os.Stderr, "scenariobench: FAIL conformance:", err)
+		failed = true
+	}
+	doc, err := scenario.ReadDocument(*file)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `scenariobench -scenario %s -baseline` first)", err, *scenarioPath))
+	}
+	base := doc.Scenarios[sc.Name]
+	if base == nil {
+		fatal(fmt.Errorf("%s has no %q baseline (run -baseline first)", *file, sc.Name))
+	}
+	for _, f := range scenario.Compare(base, res, sc.Gate) {
+		fmt.Fprintln(os.Stderr, "scenariobench: FAIL gate:", f.String())
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("scenariobench: %s within SLOs, gate tolerances, and ±%.0f%% of the capacity model\n",
+		sc.Name, sc.Capacity.ErrorBand*100)
+}
+
+func printJSON(v any) {
+	raw, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(raw))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenariobench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,241 @@
+// Package capacity is the analytical throughput model over the kernel
+// microbenchmarks: it composes the per-kernel costs recorded in
+// BENCH_kernels.json into a predicted per-request CPU cost, per-node
+// saturation QPS, and cluster capacity for a declared workload mix. The
+// scenario harness (internal/scenario) runs the same workload against a
+// real multi-process deployment and asserts the measured throughput is
+// within the scenario's declared error band of this model's prediction —
+// the conformance check that keeps the model honest and catches serving
+// stack regressions the kernel gate can't see (a kernel can stay fast
+// while the request path around it gets slow).
+package capacity
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/gate"
+)
+
+// RefElements is the grid size the kernel benchmarks in
+// bench_kernels_test.go measure at (hurricane.DefaultDims = 32×64×64).
+// Kernel ns/op scale by element count when a workload uses another grid.
+const RefElements = 32 * 64 * 64
+
+// Costs are the per-kernel serial costs (ns per operation at RefElements
+// elements) the model composes. They come from BENCH_kernels.json via
+// CostsFromBaseline.
+type Costs struct {
+	// SynthNs is one hurricane field synthesis (the server-side cost of
+	// materializing a DataRef on a predict miss or a fit cell).
+	SynthNs float64
+	// SummaryNs is one fused single-pass summary sweep.
+	SummaryNs float64
+	// MetricsNs is the stat+entropy+quantized-entropy metric chain on a
+	// buffer whose summary is already computed.
+	MetricsNs float64
+	// CompressNs maps compressor id → one serial compression (the
+	// ground-truth measurement a fit cell performs).
+	CompressNs map[string]float64
+}
+
+// benchmarkNames maps the Costs fields to the benchmark rows they are
+// read from.
+const (
+	benchSynth   = "BenchmarkKernelHurricaneSynth"
+	benchSummary = "BenchmarkKernelFusedSummary"
+	benchMetrics = "BenchmarkKernelMetricsChain"
+)
+
+var compressorBenchmarks = map[string]string{
+	"sz3": "BenchmarkKernelSZ3Compress/serial",
+	"zfp": "BenchmarkKernelZFPCompress/serial",
+	"szx": "BenchmarkKernelSZXCompress/serial",
+}
+
+// baselineDoc is the slice of the BENCH_kernels.json schema the model
+// reads; the file is owned by cmd/benchgate.
+type baselineDoc struct {
+	Benchmarks map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// CostsFromBaseline loads the kernel costs from a committed
+// BENCH_kernels.json. Missing rows are errors: a prediction built on a
+// silently-zero kernel cost would conform to nothing.
+func CostsFromBaseline(path string) (*Costs, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("capacity: %s: %w", path, err)
+	}
+	get := func(name string) (float64, error) {
+		m, ok := doc.Benchmarks[name]
+		if !ok || m.NsPerOp <= 0 {
+			return 0, fmt.Errorf("capacity: %s has no usable %q row", path, name)
+		}
+		return m.NsPerOp, nil
+	}
+	c := &Costs{CompressNs: map[string]float64{}}
+	if c.SynthNs, err = get(benchSynth); err != nil {
+		return nil, err
+	}
+	if c.SummaryNs, err = get(benchSummary); err != nil {
+		return nil, err
+	}
+	if c.MetricsNs, err = get(benchMetrics); err != nil {
+		return nil, err
+	}
+	for id, row := range compressorBenchmarks {
+		ns, err := get(row)
+		if err != nil {
+			return nil, err
+		}
+		c.CompressNs[id] = ns
+	}
+	return c, nil
+}
+
+// Spec declares the workload and deployment the model predicts for. All
+// fields are scenario inputs — nothing here is measured.
+type Spec struct {
+	// Nodes is the node count the workload actually spreads across — NOT
+	// necessarily the replica count behind the router. The router pins
+	// each partition's predicts to one warm replica and sends its fits to
+	// the ring owner, so a single-(scheme, compressor) workload has an
+	// effective node count of 1 regardless of cluster size; multi-
+	// partition workloads scale toward the replica count.
+	Nodes int `json:"nodes"`
+	// CoresPerNode is the CPU budget each node may saturate.
+	CoresPerNode float64 `json:"cores_per_node"`
+	// Elements is the per-request grid size (product of the scenario's
+	// data dims).
+	Elements int64 `json:"elements"`
+	// PredictPct, FitPct, InvalidatePct is the traffic mix in percent;
+	// they must sum to 100.
+	PredictPct    float64 `json:"predict_pct"`
+	FitPct        float64 `json:"fit_pct"`
+	InvalidatePct float64 `json:"invalidate_pct"`
+	// HitRate is the expected steady-state predict cache hit fraction in
+	// [0, 1] (warmed corpus minus invalidation churn).
+	HitRate float64 `json:"hit_rate"`
+	// FitCells is the training cells one fit job executes (fields ×
+	// steps × bounds).
+	FitCells int `json:"fit_cells"`
+	// Compressor keys into Costs.CompressNs for the fit ground-truth
+	// cost.
+	Compressor string `json:"compressor"`
+	// OverheadUS is the declared fixed per-request overhead in
+	// microseconds — HTTP, JSON, routing hop, bookkeeping — everything
+	// the kernel benchmarks don't see.
+	OverheadUS float64 `json:"overhead_us"`
+}
+
+// Validate rejects specs the model would divide by zero on or silently
+// mispredict.
+func (s Spec) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("capacity: nodes %d < 1", s.Nodes)
+	}
+	if s.CoresPerNode <= 0 {
+		return fmt.Errorf("capacity: cores_per_node %v <= 0", s.CoresPerNode)
+	}
+	if s.Elements <= 0 {
+		return fmt.Errorf("capacity: elements %d <= 0", s.Elements)
+	}
+	if sum := s.PredictPct + s.FitPct + s.InvalidatePct; sum < 99.999 || sum > 100.001 {
+		return fmt.Errorf("capacity: traffic mix sums to %v, want 100", sum)
+	}
+	if s.PredictPct < 0 || s.FitPct < 0 || s.InvalidatePct < 0 {
+		return fmt.Errorf("capacity: negative traffic percentage")
+	}
+	if s.HitRate < 0 || s.HitRate > 1 {
+		return fmt.Errorf("capacity: hit_rate %v outside [0, 1]", s.HitRate)
+	}
+	if s.FitPct > 0 && s.FitCells < 1 {
+		return fmt.Errorf("capacity: fit traffic with fit_cells %d < 1", s.FitCells)
+	}
+	return nil
+}
+
+// Prediction is the model output, embedded verbatim into
+// BENCH_system.json so a committed system baseline records what the
+// model claimed alongside what the run measured.
+type Prediction struct {
+	// Per-operation CPU costs in milliseconds.
+	PredictMissMS float64 `json:"predict_miss_ms"`
+	PredictHitMS  float64 `json:"predict_hit_ms"`
+	FitJobMS      float64 `json:"fit_job_ms"`
+	// MeanRequestMS is the mix-weighted mean CPU cost of one arriving
+	// request (fit jobs are async but still burn the node's CPU).
+	MeanRequestMS float64 `json:"mean_request_ms"`
+	// NodeQPS and ClusterQPS are the CPU-saturation throughput bounds.
+	NodeQPS    float64 `json:"node_qps"`
+	ClusterQPS float64 `json:"cluster_qps"`
+}
+
+// AchievedQPS predicts the throughput of an open-loop run offering
+// target QPS: the offered rate, clipped at cluster saturation.
+func (p *Prediction) AchievedQPS(target float64) float64 {
+	if target < p.ClusterQPS {
+		return target
+	}
+	return p.ClusterQPS
+}
+
+// Predict composes kernel costs into the workload's throughput bound.
+//
+// The model: a predict miss synthesizes the field, runs the fused
+// summary, then the metric chain (all scaling with element count); a
+// predict hit pays only the fixed overhead; a fit job repeats
+// synth+summary+metrics plus one serial compression per training cell.
+// Per-node saturation is cores / mean-per-request CPU; the router
+// spreads load evenly so the cluster scales linearly in nodes.
+func Predict(c *Costs, s Spec) (*Prediction, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	scale := float64(s.Elements) / float64(RefElements)
+	overheadNs := s.OverheadUS * 1e3
+	cellNs := (c.SynthNs + c.SummaryNs + c.MetricsNs) * scale
+
+	missNs := cellNs + overheadNs
+	hitNs := overheadNs
+	compNs, ok := c.CompressNs[s.Compressor]
+	if s.FitPct > 0 && !ok {
+		return nil, fmt.Errorf("capacity: no compress cost for %q", s.Compressor)
+	}
+	fitNs := float64(s.FitCells)*(cellNs+compNs*scale) + overheadNs
+	invalNs := overheadNs
+
+	predictNs := s.HitRate*hitNs + (1-s.HitRate)*missNs
+	meanNs := (s.PredictPct*predictNs + s.FitPct*fitNs + s.InvalidatePct*invalNs) / 100
+
+	p := &Prediction{
+		PredictMissMS: missNs / 1e6,
+		PredictHitMS:  hitNs / 1e6,
+		FitJobMS:      fitNs / 1e6,
+		MeanRequestMS: meanNs / 1e6,
+	}
+	p.NodeQPS = s.CoresPerNode * 1e9 / meanNs
+	p.ClusterQPS = p.NodeQPS * float64(s.Nodes)
+	return p, nil
+}
+
+// Conformance asserts a measured value is within band (relative error)
+// of the model's prediction, e.g. Conformance("qps", 120, 100, 0.25).
+func Conformance(metric string, predicted, measured, band float64) error {
+	if band <= 0 {
+		return fmt.Errorf("capacity: conformance band %v <= 0", band)
+	}
+	if !gate.Within(predicted, measured, band) {
+		return fmt.Errorf("capacity: %s measured %.3f outside ±%.0f%% of predicted %.3f",
+			metric, measured, band*100, predicted)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package capacity
+
+import (
+	"testing"
+)
+
+// testCosts is a hand-picked cost table with easy arithmetic: one cell
+// (synth+summary+metrics) costs 1ms at RefElements, compression 2ms.
+var testCosts = &Costs{
+	SynthNs:    600_000,
+	SummaryNs:  300_000,
+	MetricsNs:  100_000,
+	CompressNs: map[string]float64{"sz3": 2_000_000},
+}
+
+func refSpec() Spec {
+	return Spec{
+		Nodes:         2,
+		CoresPerNode:  1,
+		Elements:      RefElements,
+		PredictPct:    90,
+		FitPct:        5,
+		InvalidatePct: 5,
+		HitRate:       0.5,
+		FitCells:      4,
+		Compressor:    "sz3",
+		OverheadUS:    100,
+	}
+}
+
+func TestPredictArithmetic(t *testing.T) {
+	p, err := Predict(testCosts, refSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// miss = 1ms cell + 0.1ms overhead; hit = overhead only
+	if p.PredictMissMS != 1.1 {
+		t.Errorf("predict_miss_ms = %v, want 1.1", p.PredictMissMS)
+	}
+	if p.PredictHitMS != 0.1 {
+		t.Errorf("predict_hit_ms = %v, want 0.1", p.PredictHitMS)
+	}
+	// fit = 4 cells × (1ms + 2ms) + overhead
+	if p.FitJobMS != 12.1 {
+		t.Errorf("fit_job_ms = %v, want 12.1", p.FitJobMS)
+	}
+	// mean = (90×0.6 + 5×12.1 + 5×0.1)/100 = 1.15ms → 869.6 QPS/node
+	if p.MeanRequestMS != 1.15 {
+		t.Errorf("mean_request_ms = %v, want 1.15", p.MeanRequestMS)
+	}
+	if p.NodeQPS < 869 || p.NodeQPS > 870 {
+		t.Errorf("node_qps = %v, want ~869.6", p.NodeQPS)
+	}
+	if p.ClusterQPS != 2*p.NodeQPS {
+		t.Errorf("cluster_qps = %v, want 2×node", p.ClusterQPS)
+	}
+}
+
+func TestPredictScalesWithElements(t *testing.T) {
+	small := refSpec()
+	small.Elements = RefElements / 8
+	ps, err := Predict(testCosts, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := Predict(testCosts, refSpec())
+	if ps.NodeQPS <= pr.NodeQPS {
+		t.Errorf("smaller grid should raise capacity: %v vs %v", ps.NodeQPS, pr.NodeQPS)
+	}
+	// an 8× smaller grid costs 8× less per cell
+	wantMiss := 1.0/8 + 0.1
+	if diff := ps.PredictMissMS - wantMiss; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("predict_miss_ms = %v, want %v", ps.PredictMissMS, wantMiss)
+	}
+}
+
+func TestPredictMonotonic(t *testing.T) {
+	base, _ := Predict(testCosts, refSpec())
+
+	hot := refSpec()
+	hot.HitRate = 0.95
+	ph, _ := Predict(testCosts, hot)
+	if ph.ClusterQPS <= base.ClusterQPS {
+		t.Errorf("higher hit rate should raise capacity: %v vs %v", ph.ClusterQPS, base.ClusterQPS)
+	}
+
+	wide := refSpec()
+	wide.Nodes = 4
+	pw, _ := Predict(testCosts, wide)
+	if pw.ClusterQPS <= base.ClusterQPS {
+		t.Errorf("more nodes should raise capacity: %v vs %v", pw.ClusterQPS, base.ClusterQPS)
+	}
+}
+
+func TestAchievedQPSClipsAtSaturation(t *testing.T) {
+	p, _ := Predict(testCosts, refSpec())
+	if got := p.AchievedQPS(10); got != 10 {
+		t.Errorf("under capacity: achieved %v, want the offered 10", got)
+	}
+	if got := p.AchievedQPS(1e9); got != p.ClusterQPS {
+		t.Errorf("over capacity: achieved %v, want saturation %v", got, p.ClusterQPS)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Nodes = 0 },
+		func(s *Spec) { s.CoresPerNode = 0 },
+		func(s *Spec) { s.Elements = 0 },
+		func(s *Spec) { s.PredictPct = 50 }, // mix no longer sums to 100
+		func(s *Spec) { s.HitRate = 1.5 },
+		func(s *Spec) { s.FitCells = 0 },           // with FitPct > 0
+		func(s *Spec) { s.Compressor = "unknown" }, // with FitPct > 0
+	}
+	for i, mutate := range bad {
+		s := refSpec()
+		mutate(&s)
+		if _, err := Predict(testCosts, s); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	ok := refSpec()
+	ok.FitPct, ok.InvalidatePct, ok.PredictPct = 0, 0, 100
+	ok.FitCells, ok.Compressor = 0, "unknown" // irrelevant without fit traffic
+	if _, err := Predict(testCosts, ok); err != nil {
+		t.Errorf("predict-only spec rejected: %v", err)
+	}
+}
+
+func TestCostsFromBaseline(t *testing.T) {
+	c, err := CostsFromBaseline("../../BENCH_kernels.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SynthNs <= 0 || c.SummaryNs <= 0 || c.MetricsNs <= 0 {
+		t.Errorf("non-positive kernel cost: %+v", c)
+	}
+	for _, id := range []string{"sz3", "zfp", "szx"} {
+		if c.CompressNs[id] <= 0 {
+			t.Errorf("missing compress cost for %s", id)
+		}
+	}
+	// synthesis dominates the summary at the same element count — if this
+	// inverts, the committed baseline rows were swapped
+	if c.SynthNs < c.SummaryNs {
+		t.Errorf("synth %v < summary %v: baseline rows look swapped", c.SynthNs, c.SummaryNs)
+	}
+}
+
+func TestCostsFromBaselineMissingRow(t *testing.T) {
+	if _, err := CostsFromBaseline("testdata/nonexistent.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	if err := Conformance("qps", 100, 110, 0.25); err != nil {
+		t.Errorf("10%% error rejected at 25%% band: %v", err)
+	}
+	if err := Conformance("qps", 100, 150, 0.25); err == nil {
+		t.Error("50% error accepted at 25% band")
+	}
+	if err := Conformance("qps", 100, 110, 0); err == nil {
+		t.Error("zero band accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/hurricane"
+)
+
+// ManifestName is the manifest file written next to a generated corpus.
+const ManifestName = "MANIFEST.json"
+
+// ManifestEntry pins one corpus file by size and content digest.
+type ManifestEntry struct {
+	// Name is the dataset entry name, e.g. "P.t07".
+	Name string `json:"name"`
+	// File is the on-disk base name, e.g. "P.t07_8x8x8.f32".
+	File string `json:"file"`
+	// Bytes is the payload size.
+	Bytes int64 `json:"bytes"`
+	// SHA256 is the hex digest of the file contents.
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest records what a generated corpus contains and the exact
+// generator inputs that produced it, so a scenario harness (or a second
+// datagen run) can prove an existing corpus is byte-identical to the one
+// it wants and reuse it instead of regenerating — and detect a stale or
+// tampered corpus instead of silently benchmarking against it.
+type Manifest struct {
+	Fields  []string        `json:"fields"`
+	Steps   int             `json:"steps"`
+	Dims    []int           `json:"dims"`
+	Seed    uint64          `json:"seed"`
+	Entries []ManifestEntry `json:"entries"`
+}
+
+// TotalBytes sums the corpus payload sizes.
+func (m *Manifest) TotalBytes() int64 {
+	var n int64
+	for _, e := range m.Entries {
+		n += e.Bytes
+	}
+	return n
+}
+
+// SpecMatches reports whether the manifest was generated from exactly
+// these inputs.
+func (m *Manifest) SpecMatches(fields []string, steps int, dims []int, seed uint64) bool {
+	if m.Steps != steps || m.Seed != seed || len(m.Fields) != len(fields) || len(m.Dims) != len(dims) {
+		return false
+	}
+	for i, f := range fields {
+		if m.Fields[i] != f {
+			return false
+		}
+	}
+	for i, d := range dims {
+		if m.Dims[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify re-hashes every manifest entry against the files in dir,
+// returning the first mismatch (missing file, size drift, or digest
+// drift).
+func (m *Manifest) Verify(dir string) error {
+	for _, e := range m.Entries {
+		path := filepath.Join(dir, e.File)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("manifest: %s: %w", e.Name, err)
+		}
+		if int64(len(raw)) != e.Bytes {
+			return fmt.Errorf("manifest: %s: %d bytes on disk, manifest says %d", e.File, len(raw), e.Bytes)
+		}
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != e.SHA256 {
+			return fmt.Errorf("manifest: %s: content digest %s, manifest says %s", e.File, got, e.SHA256)
+		}
+	}
+	return nil
+}
+
+// WriteManifest persists the manifest atomically into dir.
+func WriteManifest(dir string, m *Manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, ManifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadManifest loads dir's manifest; a missing manifest is an error the
+// caller treats as "no cached corpus".
+func ReadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %s: %w", dir, err)
+	}
+	return &m, nil
+}
+
+// BuildCorpus materializes the hurricane corpus fields × steps at dims
+// under seed into dir, writing a manifest beside the data. If dir already
+// holds a manifest generated from the same spec whose files verify, the
+// corpus is reused as-is and cached reports true — the harness-side cache
+// that keeps repeated scenario runs from regenerating (and re-hashing is
+// what makes the reuse safe, not just plausible). A corpus whose spec
+// differs is regenerated in place; a corpus whose bytes drifted from its
+// own manifest is an error, because something else wrote into the
+// directory and silently rebuilding would hide that.
+func BuildCorpus(dir string, fields []string, steps int, dims []int, seed uint64) (m *Manifest, cached bool, err error) {
+	if prev, rerr := ReadManifest(dir); rerr == nil && prev.SpecMatches(fields, steps, dims, seed) {
+		if verr := prev.Verify(dir); verr != nil {
+			return nil, false, fmt.Errorf("cached corpus in %s does not match its manifest: %w", dir, verr)
+		}
+		return prev, true, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, err
+	}
+	m = &Manifest{
+		Fields: append([]string(nil), fields...),
+		Steps:  steps,
+		Dims:   append([]int(nil), dims...),
+		Seed:   seed,
+	}
+	for _, field := range fields {
+		for step := 0; step < steps; step++ {
+			data, err := hurricane.FieldSeeded(field, step, dims, seed)
+			if err != nil {
+				return nil, false, err
+			}
+			name := fmt.Sprintf("%s.t%02d", field, step)
+			path, err := WriteRaw(dir, name, data)
+			if err != nil {
+				return nil, false, err
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return nil, false, err
+			}
+			sum := sha256.Sum256(raw)
+			m.Entries = append(m.Entries, ManifestEntry{
+				Name:   name,
+				File:   filepath.Base(path),
+				Bytes:  int64(len(raw)),
+				SHA256: hex.EncodeToString(sum[:]),
+			})
+		}
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		return nil, false, err
+	}
+	return m, false, nil
+}

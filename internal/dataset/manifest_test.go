@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T, dir string, seed uint64) *Manifest {
+	t.Helper()
+	m, cached, err := BuildCorpus(dir, []string{"P", "CLOUD"}, 2, []int{4, 4, 4}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("fresh directory reported a cache hit")
+	}
+	return m
+}
+
+func TestBuildCorpusWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	m := buildSmall(t, dir, 0)
+	if len(m.Entries) != 4 {
+		t.Fatalf("2 fields x 2 steps should give 4 entries, got %d", len(m.Entries))
+	}
+	for _, e := range m.Entries {
+		if e.Bytes != 4*4*4*4 {
+			t.Errorf("%s: %d bytes, want %d", e.File, e.Bytes, 4*4*4*4)
+		}
+		if len(e.SHA256) != 64 {
+			t.Errorf("%s: digest %q is not hex sha256", e.File, e.SHA256)
+		}
+	}
+	// the manifest must round-trip and verify against the files
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SpecMatches([]string{"P", "CLOUD"}, 2, []int{4, 4, 4}, 0) {
+		t.Errorf("round-tripped manifest lost its spec: %+v", got)
+	}
+	if err := got.Verify(dir); err != nil {
+		t.Errorf("fresh corpus fails its own manifest: %v", err)
+	}
+	// the corpus loads through the folder pipeline
+	f, err := NewFolder(dir, "*.f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 4 {
+		t.Errorf("folder sees %d entries, want 4", f.Len())
+	}
+}
+
+func TestBuildCorpusCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	first := buildSmall(t, dir, 3)
+	m, cached, err := BuildCorpus(dir, []string{"P", "CLOUD"}, 2, []int{4, 4, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("identical spec did not reuse the corpus")
+	}
+	if m.TotalBytes() != first.TotalBytes() {
+		t.Errorf("cached manifest drifted: %d vs %d bytes", m.TotalBytes(), first.TotalBytes())
+	}
+}
+
+func TestBuildCorpusSpecChangeRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	buildSmall(t, dir, 0)
+	// a different seed is a different corpus: same shape, different bytes
+	m2, cached, err := BuildCorpus(dir, []string{"P", "CLOUD"}, 2, []int{4, 4, 4}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("seed change served the stale corpus")
+	}
+	if err := m2.Verify(dir); err != nil {
+		t.Fatalf("regenerated corpus fails its manifest: %v", err)
+	}
+}
+
+func TestBuildCorpusSeedChangesBytes(t *testing.T) {
+	m0 := buildSmall(t, t.TempDir(), 0)
+	m1 := buildSmall(t, t.TempDir(), 1)
+	same := 0
+	for i := range m0.Entries {
+		if m0.Entries[i].SHA256 == m1.Entries[i].SHA256 {
+			same++
+		}
+	}
+	// dense fields must differ byte-wise under a different seed; fully
+	// sparse 4x4x4 CLOUD timesteps may legitimately hash equal (all-zero)
+	if same == len(m0.Entries) {
+		t.Error("seeds 0 and 1 produced byte-identical corpora")
+	}
+}
+
+func TestBuildCorpusDeterministic(t *testing.T) {
+	m0 := buildSmall(t, t.TempDir(), 5)
+	m1 := buildSmall(t, t.TempDir(), 5)
+	for i := range m0.Entries {
+		if m0.Entries[i].SHA256 != m1.Entries[i].SHA256 {
+			t.Errorf("%s: same seed, different bytes", m0.Entries[i].File)
+		}
+	}
+}
+
+func TestBuildCorpusTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	m := buildSmall(t, dir, 0)
+	path := filepath.Join(dir, m.Entries[0].File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(dir); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("bit flip not caught by Verify: %v", err)
+	}
+	// BuildCorpus over the tampered corpus must refuse, not silently reuse
+	// or rebuild
+	if _, _, err := BuildCorpus(dir, []string{"P", "CLOUD"}, 2, []int{4, 4, 4}, 0); err == nil {
+		t.Fatal("BuildCorpus accepted a corpus that fails its own manifest")
+	}
+}
+
+func TestManifestSpecMatches(t *testing.T) {
+	m := &Manifest{Fields: []string{"P"}, Steps: 2, Dims: []int{4, 4, 4}, Seed: 1}
+	if !m.SpecMatches([]string{"P"}, 2, []int{4, 4, 4}, 1) {
+		t.Error("identical spec rejected")
+	}
+	for _, bad := range []bool{
+		m.SpecMatches([]string{"TC"}, 2, []int{4, 4, 4}, 1),
+		m.SpecMatches([]string{"P"}, 3, []int{4, 4, 4}, 1),
+		m.SpecMatches([]string{"P"}, 2, []int{8, 4, 4}, 1),
+		m.SpecMatches([]string{"P"}, 2, []int{4, 4, 4}, 2),
+		m.SpecMatches([]string{"P", "TC"}, 2, []int{4, 4, 4}, 1),
+	} {
+		if bad {
+			t.Error("differing spec accepted")
+		}
+	}
+}

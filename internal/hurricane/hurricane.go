@@ -142,7 +142,19 @@ func Generate(field string, step int, dims []int) *pressio.Data {
 }
 
 // Field synthesizes one field at one timestep, validating arguments.
+// It is FieldSeeded at seed 0 — the canonical dataset every in-process
+// consumer (predictd's DataRef path, the bench driver) agrees on.
 func Field(field string, step int, dims []int) (*pressio.Data, error) {
+	return FieldSeeded(field, step, dims, 0)
+}
+
+// FieldSeeded synthesizes one field at one timestep under a corpus seed.
+// The seed perturbs only the small-scale noise structure; the storm track
+// and the per-field physics are shared, so two seeds produce datasets
+// with the same compression-difficulty profile but different bytes —
+// what a scenario corpus needs to prove its manifest actually pins
+// content, not just shape. Seed 0 is the canonical dataset.
+func FieldSeeded(field string, step int, dims []int, seed uint64) (*pressio.Data, error) {
 	if step < 0 || step >= Timesteps {
 		return nil, fmt.Errorf("hurricane: step %d out of range [0, %d)", step, Timesteps)
 	}
@@ -164,7 +176,10 @@ func Field(field string, step int, dims []int) (*pressio.Data, error) {
 	out := pressio.NewFloat32(nz, ny, nx)
 	buf := out.Float32()
 	st := stormAt(step)
-	seed := fieldSeed(field, step)
+	noiseSeed := fieldSeed(field, step)
+	if seed != 0 {
+		noiseSeed = hash64(noiseSeed ^ seed)
+	}
 
 	idx := 0
 	for iz := 0; iz < nz; iz++ {
@@ -173,7 +188,7 @@ func Field(field string, step int, dims []int) (*pressio.Data, error) {
 			y := float64(iy) / float64(max(ny-1, 1))
 			for ix := 0; ix < nx; ix++ {
 				x := float64(ix) / float64(max(nx-1, 1))
-				buf[idx] = float32(sample(field, x, y, z, st, seed))
+				buf[idx] = float32(sample(field, x, y, z, st, noiseSeed))
 				idx++
 			}
 		}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/capacity"
+	"repro/internal/gate"
+)
+
+// Metrics is what one scenario run measured over its steady window.
+type Metrics struct {
+	// Requests/Errors count steady-window completions; ErrorRate is
+	// Errors/Requests.
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// AchievedQPS is steady completions over the steady wall-clock.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Latency quantiles over steady-window requests, milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// CacheHitRate is cluster-wide predict cache hits/(hits+misses)
+	// scraped from /statz at the end of the run.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// MaxRSSBytes is the largest per-node resident set observed.
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
+}
+
+// SystemResult is one scenario's record in BENCH_system.json: what the
+// run was, what it measured, and what the capacity model predicted.
+type SystemResult struct {
+	Scenario  string  `json:"scenario"`
+	Nodes     int     `json:"nodes"`
+	TargetQPS float64 `json:"target_qps"`
+	SteadyS   float64 `json:"steady_s"`
+	Measured  Metrics `json:"measured"`
+	// Predicted is the capacity model's output for this scenario;
+	// PredictedQPS is its achieved-QPS claim (offered rate clipped at
+	// predicted saturation) that conformance checks against Measured.
+	Predicted       *capacity.Prediction `json:"predicted,omitempty"`
+	PredictedQPS    float64              `json:"predicted_qps"`
+	ConformanceBand float64              `json:"conformance_band"`
+}
+
+// Document is the committed BENCH_system.json schema: one result per
+// scenario name.
+type Document struct {
+	Note      string                   `json:"note"`
+	Scenarios map[string]*SystemResult `json:"scenarios"`
+}
+
+// defaultNote explains the file to readers of the committed artifact.
+const defaultNote = "System macro-benchmark baseline for `make scenario-check` " +
+	"(scenariobench -check fails on regression past the scenario's declared gate " +
+	"tolerances, SLO violation, or capacity-model nonconformance). Regenerate " +
+	"with `scenariobench -scenario <file> -baseline` on a quiet machine."
+
+// ReadDocument loads a BENCH_system.json.
+func ReadDocument(path string) (*Document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Document
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Scenarios == nil {
+		d.Scenarios = map[string]*SystemResult{}
+	}
+	return &d, nil
+}
+
+// WriteDocument persists the document, installing the default note.
+func WriteDocument(path string, d *Document) error {
+	if d.Note == "" {
+		d.Note = defaultNote
+	}
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// gateRules projects the scenario's declared tolerances into the shared
+// gate engine's rule set — the same engine cmd/benchgate runs the kernel
+// baseline on. Achieved QPS regresses downward; latency quantiles and
+// error rate regress upward, latency with an absolute slack so
+// microsecond-scale baselines don't gate on scheduler noise.
+func gateRules(g Gate) []gate.Rule {
+	return []gate.Rule{
+		{Metric: "achieved_qps", Worse: gate.LowerIsWorse, Tolerance: g.QPSTolerance},
+		{Metric: "p50_ms", Worse: gate.HigherIsWorse, Tolerance: g.LatencyTolerance, Slack: g.LatencySlackMS},
+		{Metric: "p99_ms", Worse: gate.HigherIsWorse, Tolerance: g.LatencyTolerance, Slack: g.LatencySlackMS},
+		{Metric: "error_rate", Worse: gate.HigherIsWorse, Tolerance: g.QPSTolerance, Slack: g.ErrorRateSlack},
+	}
+}
+
+func metricRow(m Metrics) gate.Row {
+	return gate.Row{
+		"achieved_qps": m.AchievedQPS,
+		"p50_ms":       m.P50MS,
+		"p99_ms":       m.P99MS,
+		"error_rate":   m.ErrorRate,
+	}
+}
+
+// Compare gates a fresh run against the committed baseline under the
+// scenario's declared tolerances.
+func Compare(base, cur *SystemResult, g Gate) []gate.Failure {
+	return gate.Compare(
+		map[string]gate.Row{base.Scenario: metricRow(base.Measured)},
+		map[string]gate.Row{cur.Scenario: metricRow(cur.Measured)},
+		gateRules(g),
+	)
+}
+
+// CheckSLO returns one violation string per SLO the measured run broke.
+func CheckSLO(r *SystemResult, slo SLO) []string {
+	var v []string
+	m := r.Measured
+	if m.P50MS > slo.MaxP50MS {
+		v = append(v, fmt.Sprintf("p50 %.1fms > SLO %.1fms", m.P50MS, slo.MaxP50MS))
+	}
+	if m.P99MS > slo.MaxP99MS {
+		v = append(v, fmt.Sprintf("p99 %.1fms > SLO %.1fms", m.P99MS, slo.MaxP99MS))
+	}
+	if m.ErrorRate > slo.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f > SLO %.4f", m.ErrorRate, slo.MaxErrorRate))
+	}
+	if m.MaxRSSBytes > slo.MaxRSSBytes {
+		v = append(v, fmt.Sprintf("max RSS %d > SLO %d bytes", m.MaxRSSBytes, slo.MaxRSSBytes))
+	}
+	sort.Strings(v)
+	return v
+}
+
+// CheckConformance asserts the measured throughput is within the
+// scenario's declared error band of the capacity model's prediction.
+func CheckConformance(r *SystemResult) error {
+	if r.Predicted == nil {
+		return fmt.Errorf("scenario %s: no capacity prediction recorded", r.Scenario)
+	}
+	return capacity.Conformance("achieved_qps", r.PredictedQPS, r.Measured.AchievedQPS, r.ConformanceBand)
+}

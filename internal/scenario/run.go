@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// RunConfig locates the pieces a scenario run needs on disk.
+type RunConfig struct {
+	// Bin is the prebuilt predictd binary (see BuildPredictd).
+	Bin string
+	// WorkDir is scratch space for node stores, logs, and ready files.
+	WorkDir string
+	// CorpusDir is where the corpus lives; a manifest-verified corpus
+	// already there (same spec) is reused across runs.
+	CorpusDir string
+	// KernelBaseline is the BENCH_kernels.json the capacity model reads.
+	KernelBaseline string
+}
+
+// PredictOnly evaluates the capacity model for a scenario without
+// deploying anything: the -predict-only flow and the prediction half of
+// every full run.
+func PredictOnly(sc *Scenario, kernelBaseline string) (*SystemResult, error) {
+	costs, err := capacity.CostsFromBaseline(kernelBaseline)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := capacity.Predict(costs, sc.CapacitySpec())
+	if err != nil {
+		return nil, err
+	}
+	return &SystemResult{
+		Scenario:        sc.Name,
+		Nodes:           sc.Topology.Nodes,
+		TargetQPS:       sc.Traffic.TargetQPS,
+		SteadyS:         sc.Traffic.SteadyS,
+		Predicted:       pred,
+		PredictedQPS:    pred.AchievedQPS(sc.Traffic.TargetQPS),
+		ConformanceBand: sc.Capacity.ErrorBand,
+	}, nil
+}
+
+// Run executes one full scenario: corpus, deployment, priming fit,
+// seeded open-loop load, /statz scrape. The returned result carries both
+// the measured steady-window metrics and the capacity model's
+// prediction; gating against baseline/SLO/conformance is the caller's
+// choice (cmd/scenariobench, the smoke test).
+func Run(ctx context.Context, sc *Scenario, cfg RunConfig) (*SystemResult, error) {
+	result, err := PredictOnly(sc, cfg.KernelBaseline)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := dataset.BuildCorpus(cfg.CorpusDir, sc.Corpus.Fields, sc.Corpus.Steps, sc.Corpus.Dims, sc.Corpus.Seed); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+
+	h, err := Deploy(ctx, cfg.Bin, cfg.WorkDir, sc.Topology)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	d := &driver{sc: sc, h: h}
+	if err := d.prime(ctx); err != nil {
+		return nil, fmt.Errorf("priming fit: %w\nrouter log:\n%s", err, h.Router.Log())
+	}
+	if err := d.drive(ctx); err != nil {
+		return nil, err
+	}
+
+	m, err := d.metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	result.Measured = *m
+	return result, nil
+}
+
+// driver issues the scheduled traffic and records steady-window samples.
+type driver struct {
+	sc *Scenario
+	h  *Harness
+
+	mu        sync.Mutex
+	latencies []float64 // steady-window request latencies, ms
+	requests  int
+	errors    int
+}
+
+func (d *driver) post(ctx context.Context, path string, body any) (int, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		d.h.Router.Base+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.h.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, nil
+}
+
+// fitBounds gives fit sequence seq its own distinct training bounds
+// (distinct opthash — no dedup collapse between scheduled fits or with
+// the priming fit) while keeping the declared cell count.
+func (d *driver) fitBounds(seq int) []float64 {
+	b := append([]float64(nil), d.sc.Traffic.Bounds...)
+	b[len(b)-1] *= 1 + 1e-3*float64(seq+1)
+	return b
+}
+
+func (d *driver) fitRequest(bounds []float64) serve.FitRequest {
+	t := d.sc.Traffic
+	return serve.FitRequest{
+		Scheme:     t.Scheme,
+		Compressor: t.Compressor,
+		Training: serve.TrainingSpec{
+			Fields: d.sc.Corpus.Fields[:1],
+			Steps:  t.FitSteps,
+			Dims:   d.sc.Corpus.Dims,
+			Bounds: bounds,
+		},
+	}
+}
+
+// prime fits the scheme's model once and waits for it, so predicts have
+// a model to serve from before the measured window opens.
+func (d *driver) prime(ctx context.Context) error {
+	status, raw, err := d.post(ctx, "/v1/fit", d.fitRequest(d.sc.Traffic.Bounds))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusAccepted {
+		return fmt.Errorf("fit not accepted: HTTP %d: %s", status, raw)
+	}
+	var fr serve.FitResponse
+	if err := json.Unmarshal(raw, &fr); err != nil || fr.JobID == "" {
+		return fmt.Errorf("202 without job_id: %s", raw)
+	}
+	deadline := now().Add(90 * time.Second)
+	for now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var jv struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if d.h.getJSON(d.h.Router.Base+"/v1/jobs/"+fr.JobID, &jv) == nil {
+			switch jv.Status {
+			case "done":
+				return nil
+			case "failed":
+				return fmt.Errorf("priming job failed: %s", jv.Error)
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("priming job %s never finished", fr.JobID)
+}
+
+// issue sends one scheduled op and records its outcome when steady.
+// Every 2xx is a success; anything else (including transport errors —
+// the 20s client timeout is the hang detector) is an error sample.
+func (d *driver) issue(ctx context.Context, op Op) {
+	t := d.sc.Traffic
+	var path string
+	var body any
+	switch op.Kind {
+	case OpPredict:
+		field := d.sc.Corpus.Fields[op.Cell/d.sc.Corpus.Steps]
+		step := op.Cell % d.sc.Corpus.Steps
+		path, body = "/v1/predict", serve.PredictRequest{
+			Scheme:     t.Scheme,
+			Compressor: t.Compressor,
+			Options:    map[string]any{"pressio:abs": t.Bounds[0]},
+			Data:       &serve.DataRef{Field: field, Step: step, Dims: d.sc.Corpus.Dims},
+		}
+	case OpFit:
+		path, body = "/v1/fit", d.fitRequest(d.fitBounds(op.Seq))
+	case OpInvalidate:
+		path, body = "/v1/invalidate", serve.InvalidateRequest{Keys: t.InvalidateKeys}
+	}
+
+	start := now()
+	status, _, err := d.post(ctx, path, body)
+	elapsedMS := float64(now().Sub(start)) / float64(time.Millisecond)
+
+	if !op.Steady {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.requests++
+	d.latencies = append(d.latencies, elapsedMS)
+	if err != nil || status < 200 || status >= 300 {
+		d.errors++
+	}
+}
+
+// drive plays the seeded schedule open-loop: each op fires at its
+// arrival offset regardless of whether earlier ops returned.
+func (d *driver) drive(ctx context.Context) error {
+	schedule := Schedule(d.sc.Traffic, d.sc.Corpus.Cells())
+	if len(schedule) == 0 {
+		return fmt.Errorf("traffic schedule is empty")
+	}
+	var wg sync.WaitGroup
+	start := now()
+	for _, op := range schedule {
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			return err
+		}
+		if wait := start.Add(op.At).Sub(now()); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(op Op) {
+			defer wg.Done()
+			d.issue(ctx, op)
+		}(op)
+	}
+	wg.Wait()
+	return nil
+}
+
+// metrics folds the recorded samples and a final /statz scrape into the
+// measured steady-window metrics.
+func (d *driver) metrics(ctx context.Context) (*Metrics, error) {
+	d.mu.Lock()
+	m := &Metrics{
+		Requests:    d.requests,
+		Errors:      d.errors,
+		AchievedQPS: float64(d.requests-d.errors) / d.sc.Traffic.SteadyS,
+		P50MS:       stats.Quantile(d.latencies, 0.50),
+		P90MS:       stats.Quantile(d.latencies, 0.90),
+		P99MS:       stats.Quantile(d.latencies, 0.99),
+	}
+	if d.requests > 0 {
+		m.ErrorRate = float64(d.errors) / float64(d.requests)
+	}
+	d.mu.Unlock()
+
+	sts, err := d.h.Statz(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var hits, misses uint64
+	for _, st := range sts {
+		hits += st.CacheHits
+		misses += st.CacheMisses
+		if st.Process.RSSBytes > m.MaxRSSBytes {
+			m.MaxRSSBytes = st.Process.RSSBytes
+		}
+	}
+	if hits+misses > 0 {
+		m.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return m, nil
+}

@@ -1,0 +1,239 @@
+// Package scenario is the declarative macro-benchmark harness: a
+// scenario file declares a cluster topology, a generated corpus, a
+// seeded traffic mix, and SLOs; the harness deploys real predictd
+// processes (the same multi-process machinery the cluster kill tests
+// use), drives open-loop load through the router, scrapes /statz, and
+// emits a SystemResult that gates the whole serving stack — measured
+// throughput and latency against a committed BENCH_system.json baseline
+// (via the shared internal/gate engine), absolute SLOs, and conformance
+// against the analytical capacity model in internal/capacity.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/capacity"
+	"repro/internal/hurricane"
+)
+
+// Topology declares the deployment: predictd replicas behind one router.
+type Topology struct {
+	// Nodes is the predictd replica count (the router is extra).
+	Nodes int `json:"nodes"`
+	// ProbeIntervalMS is the router health-probe cadence.
+	ProbeIntervalMS int `json:"probe_interval_ms"`
+	// PollIntervalMS is the nodes' replication poll cadence.
+	PollIntervalMS int `json:"poll_interval_ms"`
+}
+
+// Corpus declares the generated hurricane corpus the traffic references:
+// fields × steps at dims under a seed, materialized by
+// dataset.BuildCorpus with a manifest so reruns reuse it byte-verified.
+type Corpus struct {
+	Fields []string `json:"fields"`
+	Steps  int      `json:"steps"`
+	Dims   []int    `json:"dims"`
+	Seed   uint64   `json:"seed"`
+}
+
+// Cells is the number of distinct (field, step) predict targets.
+func (c Corpus) Cells() int { return len(c.Fields) * c.Steps }
+
+// Elements is the per-request grid size.
+func (c Corpus) Elements() int64 {
+	n := int64(1)
+	for _, d := range c.Dims {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Traffic declares the seeded open-loop request mix the driver offers.
+type Traffic struct {
+	Scheme     string `json:"scheme"`
+	Compressor string `json:"compressor"`
+	// PredictPct, FitPct, InvalidatePct is the mix in percent (sum 100).
+	PredictPct    float64 `json:"predict_pct"`
+	FitPct        float64 `json:"fit_pct"`
+	InvalidatePct float64 `json:"invalidate_pct"`
+	// TargetQPS is the offered open-loop arrival rate (Poisson).
+	TargetQPS float64 `json:"target_qps"`
+	// WarmupS/SteadyS split the run: warmup fills caches unmeasured,
+	// steady is the measured window.
+	WarmupS float64 `json:"warmup_s"`
+	SteadyS float64 `json:"steady_s"`
+	// Seed drives the arrival process and per-op choices; two runs of
+	// the same scenario offer the identical request schedule.
+	Seed int64 `json:"seed"`
+	// FitSteps and Bounds shape each fit job's training spec (1 field ×
+	// FitSteps × len(Bounds) cells at the corpus dims). Bounds[0] is
+	// also the predict error-bound option.
+	FitSteps int       `json:"fit_steps"`
+	Bounds   []float64 `json:"bounds"`
+	// InvalidateKeys is what invalidate requests declare changed. Keys
+	// the scheme does not depend on exercise the full invalidation path
+	// without evicting the serving model (a CI-stable mix); keys it does
+	// depend on force refit churn (a stress mix).
+	InvalidateKeys []string `json:"invalidate_keys"`
+}
+
+// SLO is the absolute pass/fail envelope on the measured steady window.
+type SLO struct {
+	MaxP50MS     float64 `json:"max_p50_ms"`
+	MaxP99MS     float64 `json:"max_p99_ms"`
+	MaxErrorRate float64 `json:"max_error_rate"`
+	MaxRSSBytes  int64   `json:"max_rss_bytes"`
+}
+
+// Gate declares the run-vs-run tolerances for comparing a fresh
+// SystemResult against the committed baseline. QPS is tight (open-loop
+// under capacity tracks the offered rate); latency is loose with an
+// absolute slack because wall-clock quantiles vary across machines.
+type Gate struct {
+	QPSTolerance     float64 `json:"qps_tolerance"`
+	LatencyTolerance float64 `json:"latency_tolerance"`
+	LatencySlackMS   float64 `json:"latency_slack_ms"`
+	ErrorRateSlack   float64 `json:"error_rate_slack"`
+}
+
+// Capacity parameterizes the analytical model for this scenario.
+type Capacity struct {
+	// EffectiveNodes is how many nodes the traffic actually spreads
+	// across (1 for a single-partition mix — the router pins predicts).
+	EffectiveNodes int     `json:"effective_nodes"`
+	CoresPerNode   float64 `json:"cores_per_node"`
+	// OverheadUS is the declared fixed per-request overhead (HTTP, JSON,
+	// router hop, race-detector tax).
+	OverheadUS float64 `json:"overhead_us"`
+	// HitRate is the expected steady-state predict cache hit fraction.
+	HitRate float64 `json:"hit_rate"`
+	// ErrorBand is the conformance band: measured achieved QPS must be
+	// within this relative error of the model's prediction.
+	ErrorBand float64 `json:"error_band"`
+}
+
+// Scenario is one declarative macro-benchmark.
+type Scenario struct {
+	Name     string   `json:"name"`
+	Topology Topology `json:"topology"`
+	Corpus   Corpus   `json:"corpus"`
+	Traffic  Traffic  `json:"traffic"`
+	SLO      SLO      `json:"slo"`
+	Gate     Gate     `json:"gate"`
+	Capacity Capacity `json:"capacity"`
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Validate rejects scenarios the harness cannot run or whose results
+// would be meaningless.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("name required")
+	}
+	if s.Topology.Nodes < 2 {
+		// -node requires peers: replicated mode is the whole point of a
+		// system scenario, so single-node topologies are rejected
+		return fmt.Errorf("topology.nodes %d < 2", s.Topology.Nodes)
+	}
+	if s.Topology.ProbeIntervalMS < 1 || s.Topology.PollIntervalMS < 1 {
+		return fmt.Errorf("probe/poll intervals must be >= 1ms")
+	}
+	if len(s.Corpus.Fields) == 0 {
+		return fmt.Errorf("corpus.fields empty")
+	}
+	known := map[string]bool{}
+	for _, f := range hurricane.FieldNames {
+		known[f] = true
+	}
+	for _, f := range s.Corpus.Fields {
+		if !known[f] {
+			return fmt.Errorf("corpus field %q is not a hurricane field", f)
+		}
+	}
+	if s.Corpus.Steps < 1 || s.Corpus.Steps > hurricane.Timesteps {
+		return fmt.Errorf("corpus.steps %d outside [1, %d]", s.Corpus.Steps, hurricane.Timesteps)
+	}
+	if len(s.Corpus.Dims) != 3 {
+		return fmt.Errorf("corpus.dims %v: want 3 dims", s.Corpus.Dims)
+	}
+	for _, d := range s.Corpus.Dims {
+		if d < 1 {
+			return fmt.Errorf("corpus.dims %v: non-positive dim", s.Corpus.Dims)
+		}
+	}
+	t := s.Traffic
+	if t.Scheme == "" || t.Compressor == "" {
+		return fmt.Errorf("traffic.scheme and traffic.compressor required")
+	}
+	if sum := t.PredictPct + t.FitPct + t.InvalidatePct; sum < 99.999 || sum > 100.001 {
+		return fmt.Errorf("traffic mix sums to %v, want 100", sum)
+	}
+	if t.PredictPct < 0 || t.FitPct < 0 || t.InvalidatePct < 0 {
+		return fmt.Errorf("negative traffic percentage")
+	}
+	if t.TargetQPS <= 0 {
+		return fmt.Errorf("traffic.target_qps %v <= 0", t.TargetQPS)
+	}
+	if t.WarmupS < 0 || t.SteadyS <= 0 {
+		return fmt.Errorf("traffic needs steady_s > 0 and warmup_s >= 0")
+	}
+	if t.FitPct > 0 && (t.FitSteps < 1 || len(t.Bounds) == 0) {
+		return fmt.Errorf("fit traffic needs fit_steps >= 1 and bounds")
+	}
+	if len(t.Bounds) == 0 {
+		return fmt.Errorf("traffic.bounds empty (bounds[0] is the predict error bound)")
+	}
+	if t.InvalidatePct > 0 && len(t.InvalidateKeys) == 0 {
+		return fmt.Errorf("invalidate traffic needs invalidate_keys")
+	}
+	if s.SLO.MaxP50MS <= 0 || s.SLO.MaxP99MS <= 0 || s.SLO.MaxRSSBytes <= 0 {
+		return fmt.Errorf("slo must declare positive max_p50_ms, max_p99_ms, max_rss_bytes")
+	}
+	if s.SLO.MaxErrorRate < 0 || s.SLO.MaxErrorRate > 1 {
+		return fmt.Errorf("slo.max_error_rate %v outside [0, 1]", s.SLO.MaxErrorRate)
+	}
+	if s.Gate.QPSTolerance <= 0 || s.Gate.LatencyTolerance <= 0 {
+		return fmt.Errorf("gate tolerances must be positive")
+	}
+	c := s.Capacity
+	if c.EffectiveNodes < 1 || c.EffectiveNodes > s.Topology.Nodes {
+		return fmt.Errorf("capacity.effective_nodes %d outside [1, %d]", c.EffectiveNodes, s.Topology.Nodes)
+	}
+	if c.ErrorBand <= 0 {
+		return fmt.Errorf("capacity.error_band %v <= 0", c.ErrorBand)
+	}
+	return s.CapacitySpec().Validate()
+}
+
+// CapacitySpec projects the scenario into the analytical model's input.
+func (s *Scenario) CapacitySpec() capacity.Spec {
+	return capacity.Spec{
+		Nodes:         s.Capacity.EffectiveNodes,
+		CoresPerNode:  s.Capacity.CoresPerNode,
+		Elements:      s.Corpus.Elements(),
+		PredictPct:    s.Traffic.PredictPct,
+		FitPct:        s.Traffic.FitPct,
+		InvalidatePct: s.Traffic.InvalidatePct,
+		HitRate:       s.Capacity.HitRate,
+		FitCells:      s.Traffic.FitSteps * len(s.Traffic.Bounds),
+		Compressor:    s.Traffic.Compressor,
+		OverheadUS:    s.Capacity.OverheadUS,
+	}
+}

@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/capacity"
+)
+
+func loadSmoke(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := Load(filepath.Join("..", "..", "scenarios", "smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestCommittedScenariosLoad(t *testing.T) {
+	for _, name := range []string{"smoke.json", "full.json"} {
+		sc, err := Load(filepath.Join("..", "..", "scenarios", name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		// every committed scenario must also produce a live prediction
+		// from the committed kernel baseline
+		if _, err := PredictOnly(sc, filepath.Join("..", "..", "BENCH_kernels.json")); err != nil {
+			t.Errorf("%s: capacity prediction: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Scenario){
+		"no name":            func(s *Scenario) { s.Name = "" },
+		"single node":        func(s *Scenario) { s.Topology.Nodes = 1 },
+		"unknown field":      func(s *Scenario) { s.Corpus.Fields = []string{"BOGUS"} },
+		"zero steps":         func(s *Scenario) { s.Corpus.Steps = 0 },
+		"bad dims":           func(s *Scenario) { s.Corpus.Dims = []int{8, 8} },
+		"mix not 100":        func(s *Scenario) { s.Traffic.PredictPct = 50 },
+		"zero qps":           func(s *Scenario) { s.Traffic.TargetQPS = 0 },
+		"zero steady":        func(s *Scenario) { s.Traffic.SteadyS = 0 },
+		"fit without bounds": func(s *Scenario) { s.Traffic.Bounds = nil },
+		"inval without keys": func(s *Scenario) { s.Traffic.InvalidateKeys = nil },
+		"zero p99 slo":       func(s *Scenario) { s.SLO.MaxP99MS = 0 },
+		"zero tolerance":     func(s *Scenario) { s.Gate.QPSTolerance = 0 },
+		"effective > nodes":  func(s *Scenario) { s.Capacity.EffectiveNodes = 99 },
+		"zero band":          func(s *Scenario) { s.Capacity.ErrorBand = 0 },
+	}
+	for name, mutate := range mutations {
+		sc := loadSmoke(t)
+		mutate(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCapacitySpecMapping(t *testing.T) {
+	sc := loadSmoke(t)
+	spec := sc.CapacitySpec()
+	if spec.Elements != 512 {
+		t.Errorf("elements = %d, want 8*8*8", spec.Elements)
+	}
+	if spec.FitCells != sc.Traffic.FitSteps*len(sc.Traffic.Bounds) {
+		t.Errorf("fit_cells = %d", spec.FitCells)
+	}
+	if spec.Nodes != sc.Capacity.EffectiveNodes {
+		t.Errorf("nodes = %d, want effective %d", spec.Nodes, sc.Capacity.EffectiveNodes)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	sc := loadSmoke(t)
+	a := Schedule(sc.Traffic, sc.Corpus.Cells())
+	b := Schedule(sc.Traffic, sc.Corpus.Cells())
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two schedules of the same traffic differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	sc := loadSmoke(t)
+	ops := Schedule(sc.Traffic, sc.Corpus.Cells())
+	total := sc.Traffic.WarmupS + sc.Traffic.SteadyS
+	expected := sc.Traffic.TargetQPS * total
+	if n := float64(len(ops)); n < expected*0.7 || n > expected*1.3 {
+		t.Errorf("%d ops for ~%.0f expected arrivals", len(ops), expected)
+	}
+	kinds := map[OpKind]int{}
+	steady := 0
+	for i, op := range ops {
+		kinds[op.Kind]++
+		if op.Steady {
+			steady++
+		}
+		if op.Cell < 0 || op.Cell >= sc.Corpus.Cells() {
+			t.Fatalf("op %d cell %d out of corpus range", i, op.Cell)
+		}
+		if i > 0 && op.At < ops[i-1].At {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+	if kinds[OpPredict] == 0 || steady == 0 {
+		t.Errorf("degenerate schedule: kinds=%v steady=%d", kinds, steady)
+	}
+	// the mix percentages should roughly hold
+	if frac := float64(kinds[OpPredict]) / float64(len(ops)); frac < 0.75 {
+		t.Errorf("predict fraction %.2f for a 90%% mix", frac)
+	}
+}
+
+func baselineResult() *SystemResult {
+	return &SystemResult{
+		Scenario:  "smoke",
+		Nodes:     2,
+		TargetQPS: 12,
+		SteadyS:   6,
+		Measured: Metrics{
+			Requests:     72,
+			AchievedQPS:  12,
+			P50MS:        20,
+			P90MS:        45,
+			P99MS:        80,
+			CacheHitRate: 0.9,
+			MaxRSSBytes:  200 << 20,
+		},
+		Predicted:       &capacity.Prediction{ClusterQPS: 480},
+		PredictedQPS:    12,
+		ConformanceBand: 0.25,
+	}
+}
+
+// TestCompareGatesInjectedRegressions is the negative control the
+// acceptance criteria demand: a synthetic >10% QPS drop or a p99 blowout
+// past tolerance+slack must fail the gate, while a clean run passes.
+func TestCompareGatesInjectedRegressions(t *testing.T) {
+	g := Gate{QPSTolerance: 0.10, LatencyTolerance: 0.10, LatencySlackMS: 5, ErrorRateSlack: 0.02}
+	base := baselineResult()
+
+	clean := baselineResult()
+	clean.Measured.AchievedQPS *= 0.95 // within 10%
+	clean.Measured.P99MS *= 1.05
+	if fails := Compare(base, clean, g); len(fails) != 0 {
+		t.Errorf("clean run failed the gate: %v", fails)
+	}
+
+	slowQPS := baselineResult()
+	slowQPS.Measured.AchievedQPS *= 0.85 // 15% drop
+	if fails := Compare(base, slowQPS, g); len(fails) == 0 {
+		t.Error("15% QPS drop passed the gate")
+	} else if !strings.Contains(fails[0].String(), "achieved_qps") {
+		t.Errorf("wrong failure: %v", fails[0])
+	}
+
+	slowTail := baselineResult()
+	slowTail.Measured.P99MS = base.Measured.P99MS*1.15 + 10 // past tolerance AND slack
+	if fails := Compare(base, slowTail, g); len(fails) == 0 {
+		t.Error("15% p99 regression passed the gate")
+	}
+
+	flaky := baselineResult()
+	flaky.Measured.ErrorRate = 0.10
+	if fails := Compare(base, flaky, g); len(fails) == 0 {
+		t.Error("10% error rate passed the gate")
+	}
+}
+
+func TestCompareLatencySlackAbsorbsNoise(t *testing.T) {
+	// cross-machine latency noise: 2× slower but within the absolute
+	// slack must pass when the scenario declares a loose latency gate
+	g := Gate{QPSTolerance: 0.10, LatencyTolerance: 1.0, LatencySlackMS: 250, ErrorRateSlack: 0.02}
+	base := baselineResult()
+	noisy := baselineResult()
+	noisy.Measured.P50MS, noisy.Measured.P99MS = 39, 155
+	if fails := Compare(base, noisy, g); len(fails) != 0 {
+		t.Errorf("latency noise failed a loose gate: %v", fails)
+	}
+}
+
+func TestCheckSLO(t *testing.T) {
+	sc := loadSmoke(t)
+	ok := baselineResult()
+	if v := CheckSLO(ok, sc.SLO); len(v) != 0 {
+		t.Errorf("healthy run violates SLO: %v", v)
+	}
+	bad := baselineResult()
+	bad.Measured.P99MS = sc.SLO.MaxP99MS + 1
+	bad.Measured.ErrorRate = sc.SLO.MaxErrorRate + 0.1
+	bad.Measured.MaxRSSBytes = sc.SLO.MaxRSSBytes + 1
+	if v := CheckSLO(bad, sc.SLO); len(v) != 3 {
+		t.Errorf("expected 3 violations, got %v", v)
+	}
+}
+
+func TestCheckConformance(t *testing.T) {
+	r := baselineResult()
+	if err := CheckConformance(r); err != nil {
+		t.Errorf("exact match fails conformance: %v", err)
+	}
+	r.Measured.AchievedQPS = r.PredictedQPS * 0.5
+	if err := CheckConformance(r); err == nil {
+		t.Error("2× miss passes a 25% band")
+	}
+	r.Predicted = nil
+	if err := CheckConformance(r); err == nil {
+		t.Error("missing prediction passes conformance")
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_system.json")
+	d := &Document{Scenarios: map[string]*SystemResult{"smoke": baselineResult()}}
+	if err := WriteDocument(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDocument(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note == "" {
+		t.Error("default note not installed")
+	}
+	r := got.Scenarios["smoke"]
+	if r == nil || r.Measured.AchievedQPS != 12 || r.Predicted == nil {
+		t.Errorf("round trip lost data: %+v", r)
+	}
+}

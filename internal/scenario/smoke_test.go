@@ -1,0 +1,77 @@
+package scenario
+
+// TestScenarioSmoke is the CI macro-benchmark (`make scenario-check`):
+// it deploys the committed smoke scenario — real predictd processes
+// behind a real router — drives the seeded traffic mix, and gates the
+// result three ways: absolute SLOs, run-vs-run against the committed
+// BENCH_system.json baseline under the scenario's declared tolerances,
+// and conformance of measured throughput against the capacity model.
+// `-short` skips (it builds a binary and runs ~10s of wall-clock load);
+// SCENARIO_ARTIFACT names a path to write the fresh result document to
+// (CI uploads it).
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process macro-benchmark")
+	}
+	sc := loadSmoke(t)
+	ctx := context.Background()
+
+	bin, err := BuildPredictd(ctx, filepath.Join("..", ".."), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ctx, sc, RunConfig{
+		Bin:            bin,
+		WorkDir:        t.TempDir(),
+		CorpusDir:      filepath.Join(t.TempDir(), "corpus"),
+		KernelBaseline: filepath.Join("..", "..", "BENCH_kernels.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("measured: %d requests, %d errors, %.1f qps, p50 %.1fms p99 %.1fms, hit rate %.2f, max rss %d MiB",
+		res.Measured.Requests, res.Measured.Errors, res.Measured.AchievedQPS,
+		res.Measured.P50MS, res.Measured.P99MS, res.Measured.CacheHitRate,
+		res.Measured.MaxRSSBytes>>20)
+	t.Logf("predicted: %.1f qps achievable of %.1f cluster capacity (band ±%.0f%%)",
+		res.PredictedQPS, res.Predicted.ClusterQPS, res.ConformanceBand*100)
+
+	if res.Measured.Requests == 0 {
+		t.Fatal("no steady-window requests completed")
+	}
+	for _, v := range CheckSLO(res, sc.SLO) {
+		t.Errorf("SLO: %s", v)
+	}
+	if err := CheckConformance(res); err != nil {
+		t.Errorf("capacity conformance: %v", err)
+	}
+
+	// gate against the committed system baseline under the scenario's
+	// declared tolerances — the macro equivalent of `make bench-check`
+	doc, err := ReadDocument(filepath.Join("..", "..", "BENCH_system.json"))
+	if err != nil {
+		t.Fatalf("committed BENCH_system.json: %v (run `make scenario-baseline`)", err)
+	}
+	base := doc.Scenarios[sc.Name]
+	if base == nil {
+		t.Fatalf("BENCH_system.json has no %q baseline", sc.Name)
+	}
+	for _, f := range Compare(base, res, sc.Gate) {
+		t.Errorf("gate: %s", f.String())
+	}
+
+	if artifact := os.Getenv("SCENARIO_ARTIFACT"); artifact != "" {
+		out := &Document{Scenarios: map[string]*SystemResult{sc.Name: res}}
+		if err := WriteDocument(artifact, out); err != nil {
+			t.Errorf("writing %s: %v", artifact, err)
+		}
+	}
+}

@@ -145,6 +145,7 @@ type Statz struct {
 	Rejected       uint64                   `json:"rejected"`
 	EvictedModels  uint64                   `json:"evicted_models"`
 	EvictedCached  uint64                   `json:"evicted_cached"`
+	Process        ProcessStats             `json:"process"`
 }
 
 // snapshot assembles the endpoint/scheme/cache section of Statz; the

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ProcessStats is the process-level section of /statz: resident set
+// size, scheduler pressure, and GC pause quantiles. The scenario harness
+// scrapes these to enforce the max-RSS SLO and to attribute latency tail
+// excursions to GC rather than the serving path.
+type ProcessStats struct {
+	RSSBytes       int64   `json:"rss_bytes"`
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseP50MS   float64 `json:"gc_pause_p50_ms"`
+	GCPauseP99MS   float64 `json:"gc_pause_p99_ms"`
+}
+
+// readProcessStats samples the live process. RSS comes from
+// /proc/self/status (0 on platforms without procfs — the field stays
+// present so the JSON shape is stable); everything else is runtime
+// introspection.
+func readProcessStats() ProcessStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pauses := gcPausesMS(&ms)
+	return ProcessStats{
+		RSSBytes:       readRSSBytes(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		NumGC:          ms.NumGC,
+		GCPauseP50MS:   stats.Quantile(pauses, 0.50),
+		GCPauseP99MS:   stats.Quantile(pauses, 0.99),
+	}
+}
+
+// gcPausesMS extracts the recorded GC pause ring (up to the last 256
+// cycles) as milliseconds.
+func gcPausesMS(ms *runtime.MemStats) []float64 {
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(ms.PauseNs[i])/1e6)
+	}
+	return out
+}
+
+// readRSSBytes parses VmRSS from /proc/self/status; 0 when unavailable.
+func readRSSBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		rest, ok := strings.CutPrefix(line, "VmRSS:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest) // e.g. ["12345", "kB"]
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -884,6 +884,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	s.sweepJobs() // TTL eviction is observable without fit traffic
 	st := s.stats.snapshot()
+	st.Process = readProcessStats()
 	st.Draining = s.draining.Load()
 	st.Replaying = s.replaying.Load()
 	st.Models = s.registry.Len()
