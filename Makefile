@@ -66,13 +66,15 @@ cluster-check:
 	$(GO) test -race -run TestCluster ./internal/cluster/ -v
 
 # scenario-check runs the declarative macro-benchmark harness (DESIGN.md
-# §14) under the race detector: the committed smoke scenario deploys a
-# real 2-node predictd cluster + router, drives the seeded traffic mix,
-# and gates on SLOs, the committed BENCH_system.json baseline (scenario-
+# §14) under the race detector: each committed scenario deploys a real
+# 2-node predictd cluster + router, drives the seeded traffic mix, and
+# gates on SLOs, the committed BENCH_system.json baseline (scenario-
 # declared tolerances), and capacity-model conformance. Seeded, so the
-# offered request schedule is identical on every run.
+# offered request schedule is identical on every run. TestScenarioBatch
+# additionally gates the batch hot path's ≥10x prediction-QPS speedup
+# over its single-request twin (DESIGN.md §15).
 scenario-check:
-	$(GO) test -race -run TestScenarioSmoke ./internal/scenario/ -v
+	$(GO) test -race -run 'TestScenario(Smoke|Batch)' ./internal/scenario/ -v
 
 # scenario-baseline re-runs a scenario and rewrites its entry in the
 # committed BENCH_system.json. Run on a quiet machine and commit.

@@ -41,10 +41,16 @@ type Baseline struct {
 
 const (
 	baselineFile = "BENCH_kernels.json"
-	benchPattern = "^BenchmarkKernel"
+	benchPattern = "^Benchmark(Kernel|Serve)"
 	benchTime    = "2s"
 	tolerance    = 0.10
 )
+
+// benchPackages are the packages the gate measures: the root package's
+// kernel microbenchmarks plus internal/serve's hot-path benchmarks
+// (BenchmarkServePredictBatch gates the batch endpoint's steady-state
+// allocs/op at its committed near-zero figure).
+var benchPackages = []string{".", "./internal/serve"}
 
 func main() {
 	baseline := flag.Bool("baseline", false, "re-measure and rewrite "+baselineFile)
@@ -94,16 +100,31 @@ func main() {
 //	BenchmarkKernelSZ3Compress/serial-4   142   8400000 ns/op   164 MB/s   12 B/op   166 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
 
-// runBenchmarks executes the kernel benchmark suite once and parses the
-// per-benchmark ns/op and allocs/op.
+// runBenchmarks executes the gated benchmark suites once per package
+// and parses the per-benchmark ns/op and allocs/op.
 func runBenchmarks() (map[string]Measurement, string, error) {
+	results := make(map[string]Measurement)
+	cpu := ""
+	for _, pkg := range benchPackages {
+		pkgCPU, err := runPackage(pkg, results)
+		if err != nil {
+			return nil, "", err
+		}
+		if pkgCPU != "" {
+			cpu = pkgCPU
+		}
+	}
+	return results, cpu, nil
+}
+
+// runPackage benchmarks one package into the shared results map.
+func runPackage(pkg string, results map[string]Measurement) (string, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", benchPattern, "-benchtime", benchTime, "-count", "1", ".")
+		"-bench", benchPattern, "-benchtime", benchTime, "-count", "1", pkg)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
-		return nil, "", fmt.Errorf("go test -bench failed: %v\n%s", err, out)
+		return "", fmt.Errorf("go test -bench %s failed: %v\n%s", pkg, err, out)
 	}
-	results := make(map[string]Measurement)
 	cpu := ""
 	for _, line := range strings.Split(string(out), "\n") {
 		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
@@ -124,7 +145,7 @@ func runBenchmarks() (map[string]Measurement, string, error) {
 		}
 		results[m[1]] = Measurement{NsPerOp: ns, AllocsPerOp: allocs}
 	}
-	return results, cpu, nil
+	return cpu, nil
 }
 
 // kernelRules is the kernel schema's gate: ns/op and allocs/op both

@@ -18,6 +18,8 @@
 // Endpoints:
 //
 //	POST /v1/predict     features or data coordinates -> predicted metric
+//	POST /v1/predict/batch  columnar (or NDJSON / length-prefixed frame
+//	                     streaming) batch -> one result per input
 //	POST /v1/fit         async training job -> {"job_id": ...}
 //	GET  /v1/jobs/{id}   job status
 //	GET  /v1/models      registry listing
@@ -74,6 +76,9 @@ func main() {
 		jobTTL     = flag.Duration("job-ttl", time.Hour, "how long finished fit jobs stay queryable")
 		jobRetain  = flag.Int("job-retain", 256, "max finished fit jobs retained")
 		fsync      = flag.Bool("fsync", true, "fsync the store WAL after every append")
+		dataCache  = flag.Int64("data-cache-bytes", 0, "tiered dataset cache memory budget (0 = 128MiB default, negative disables)")
+		dataSpill  = flag.String("data-spill", "", "dataset cache mmap spill directory (empty disables the disk tier)")
+		coalesce   = flag.Duration("coalesce-window", 500*time.Microsecond, "window for fusing concurrent same-model predicts (0 disables)")
 		fsck       = flag.Bool("fsck", false, "run storecheck on the store directory, repair what is safe, and exit")
 		optsFlag   = flag.String("opts", "", "default options merged under every request, key=value[,key=value...]")
 
@@ -131,14 +136,17 @@ func main() {
 			minAcks: *minAcks, ackTimeout: *ackTimeout, pollInterval: *pollInterval,
 			readyFile: *readyFile, plan: plan,
 		}, serve.Config{
-			Workers:       *workers,
-			QueueDepth:    *queue,
-			CacheSize:     *cacheSize,
-			Deadline:      *deadline,
-			FitWorkers:    *fitWorkers,
-			FitQueueDepth: *fitQueue,
-			JobTTL:        *jobTTL,
-			JobRetain:     *jobRetain,
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			CacheSize:      *cacheSize,
+			Deadline:       *deadline,
+			FitWorkers:     *fitWorkers,
+			FitQueueDepth:  *fitQueue,
+			JobTTL:         *jobTTL,
+			JobRetain:      *jobRetain,
+			DataCacheBytes: *dataCache,
+			DataSpillDir:   *dataSpill,
+			CoalesceWindow: *coalesce,
 		})
 	}
 	if err != nil {

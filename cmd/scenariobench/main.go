@@ -141,6 +141,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scenariobench: FAIL gate:", f.String())
 		failed = true
 	}
+	if sp := sc.Speedup; sp != nil {
+		vs := doc.Scenarios[sp.Vs]
+		if vs == nil {
+			fatal(fmt.Errorf("%s has no %q baseline for the speedup gate (run -baseline on it first)", *file, sp.Vs))
+		}
+		if err := scenario.CheckSpeedup(res, vs, sp); err != nil {
+			fmt.Fprintln(os.Stderr, "scenariobench: FAIL", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}

@@ -38,6 +38,11 @@ type Costs struct {
 	// CompressNs maps compressor id → one serial compression (the
 	// ground-truth measurement a fit cell performs).
 	CompressNs map[string]float64
+	// BatchItemNs is the warm per-prediction cost on the batch endpoint
+	// (cell-cache hit: key build, LRU touch, row copy). Zero when the
+	// baseline predates BenchmarkServePredictBatch; Predict then rejects
+	// specs with batch traffic instead of pricing it at zero.
+	BatchItemNs float64
 }
 
 // benchmarkNames maps the Costs fields to the benchmark rows they are
@@ -46,6 +51,10 @@ const (
 	benchSynth   = "BenchmarkKernelHurricaneSynth"
 	benchSummary = "BenchmarkKernelFusedSummary"
 	benchMetrics = "BenchmarkKernelMetricsChain"
+	benchBatch   = "BenchmarkServePredictBatch"
+	// benchBatchItems is the batch size BenchmarkServePredictBatch times
+	// one op over; its ns/op divides by this to price one warm item.
+	benchBatchItems = 16
 )
 
 var compressorBenchmarks = map[string]string{
@@ -98,6 +107,10 @@ func CostsFromBaseline(path string) (*Costs, error) {
 		}
 		c.CompressNs[id] = ns
 	}
+	// optional: only batch-bearing specs need it, checked at Predict time
+	if m, ok := doc.Benchmarks[benchBatch]; ok && m.NsPerOp > 0 {
+		c.BatchItemNs = m.NsPerOp / benchBatchItems
+	}
 	return c, nil
 }
 
@@ -124,6 +137,11 @@ type Spec struct {
 	// HitRate is the expected steady-state predict cache hit fraction in
 	// [0, 1] (warmed corpus minus invalidation churn).
 	HitRate float64 `json:"hit_rate"`
+	// BatchPct is the share of predict requests issued against the batch
+	// endpoint, in percent of predict traffic (not of the whole mix).
+	BatchPct float64 `json:"batch_pct"`
+	// MeanBatch is the mean predictions one batched request carries.
+	MeanBatch float64 `json:"mean_batch"`
 	// FitCells is the training cells one fit job executes (fields ×
 	// steps × bounds).
 	FitCells int `json:"fit_cells"`
@@ -160,6 +178,12 @@ func (s Spec) Validate() error {
 	if s.FitPct > 0 && s.FitCells < 1 {
 		return fmt.Errorf("capacity: fit traffic with fit_cells %d < 1", s.FitCells)
 	}
+	if s.BatchPct < 0 || s.BatchPct > 100 {
+		return fmt.Errorf("capacity: batch_pct %v outside [0, 100]", s.BatchPct)
+	}
+	if s.BatchPct > 0 && s.MeanBatch < 1 {
+		return fmt.Errorf("capacity: batch traffic with mean_batch %v < 1", s.MeanBatch)
+	}
 	return nil
 }
 
@@ -170,7 +194,11 @@ type Prediction struct {
 	// Per-operation CPU costs in milliseconds.
 	PredictMissMS float64 `json:"predict_miss_ms"`
 	PredictHitMS  float64 `json:"predict_hit_ms"`
-	FitJobMS      float64 `json:"fit_job_ms"`
+	// PredictBatchMS is one batched predict request's cost (overhead plus
+	// MeanBatch items at the hit/miss mix); zero when the spec has no
+	// batch traffic.
+	PredictBatchMS float64 `json:"predict_batch_ms,omitempty"`
+	FitJobMS       float64 `json:"fit_job_ms"`
 	// MeanRequestMS is the mix-weighted mean CPU cost of one arriving
 	// request (fit jobs are async but still burn the node's CPU).
 	MeanRequestMS float64 `json:"mean_request_ms"`
@@ -194,8 +222,12 @@ func (p *Prediction) AchievedQPS(target float64) float64 {
 // summary, then the metric chain (all scaling with element count); a
 // predict hit pays only the fixed overhead; a fit job repeats
 // synth+summary+metrics plus one serial compression per training cell.
-// Per-node saturation is cores / mean-per-request CPU; the router
-// spreads load evenly so the cluster scales linearly in nodes.
+// A batched predict request pays the fixed overhead once and then
+// MeanBatch per-item costs — a warm item is the measured batch hot-path
+// cost (BenchmarkServePredictBatch), a cold item is one cell compute —
+// which is the amortization the ≥10x batch-QPS claim rests on. Per-node
+// saturation is cores / mean-per-request CPU; the router spreads load
+// evenly so the cluster scales linearly in nodes.
 func Predict(c *Costs, s Spec) (*Prediction, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -213,14 +245,23 @@ func Predict(c *Costs, s Spec) (*Prediction, error) {
 	fitNs := float64(s.FitCells)*(cellNs+compNs*scale) + overheadNs
 	invalNs := overheadNs
 
-	predictNs := s.HitRate*hitNs + (1-s.HitRate)*missNs
+	singleNs := s.HitRate*hitNs + (1-s.HitRate)*missNs
+	batchNs := 0.0
+	if s.BatchPct > 0 {
+		if c.BatchItemNs <= 0 {
+			return nil, fmt.Errorf("capacity: batch traffic but baseline has no usable %q row", benchBatch)
+		}
+		batchNs = overheadNs + s.MeanBatch*(s.HitRate*c.BatchItemNs+(1-s.HitRate)*cellNs)
+	}
+	predictNs := ((100-s.BatchPct)*singleNs + s.BatchPct*batchNs) / 100
 	meanNs := (s.PredictPct*predictNs + s.FitPct*fitNs + s.InvalidatePct*invalNs) / 100
 
 	p := &Prediction{
-		PredictMissMS: missNs / 1e6,
-		PredictHitMS:  hitNs / 1e6,
-		FitJobMS:      fitNs / 1e6,
-		MeanRequestMS: meanNs / 1e6,
+		PredictMissMS:  missNs / 1e6,
+		PredictHitMS:   hitNs / 1e6,
+		PredictBatchMS: batchNs / 1e6,
+		FitJobMS:       fitNs / 1e6,
+		MeanRequestMS:  meanNs / 1e6,
 	}
 	p.NodeQPS = s.CoresPerNode * 1e9 / meanNs
 	p.ClusterQPS = p.NodeQPS * float64(s.Nodes)

@@ -3,16 +3,19 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cluster/health"
+	"repro/internal/serve"
 )
 
 // RouterConfig tunes the stateless cluster router.
@@ -317,6 +320,10 @@ func (r *Router) postAdopt(ctx context.Context, base, dead string) error {
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", r.handlePredict)
+	// a batch routes exactly like a single predict: same partition key,
+	// same replica pinning — only the envelope extraction differs per
+	// content type
+	mux.HandleFunc("/v1/predict/batch", r.handlePredict)
 	mux.HandleFunc("/v1/fit", r.handleOwnerPost)
 	mux.HandleFunc("/v1/invalidate", r.handleInvalidate)
 	mux.HandleFunc("/v1/jobs/", r.handleJobs)
@@ -339,6 +346,33 @@ func unavailable(w http.ResponseWriter, format string, args ...any) {
 type routeBody struct {
 	Scheme     string `json:"scheme"`
 	Compressor string `json:"compressor"`
+}
+
+// envelopeJSON extracts the JSON object carrying the routing fields from
+// a predict body: the whole body for plain/columnar JSON, the first line
+// of an NDJSON stream, or the first length-prefixed frame of a binary
+// frame stream — mirroring the batch endpoint's wire formats
+// (serve.ContentNDJSON, serve.ContentFrames) so the router can route a
+// streaming batch by its envelope without decoding the items.
+func envelopeJSON(ct string, body []byte) []byte {
+	switch {
+	case strings.HasPrefix(ct, serve.ContentNDJSON):
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			return body[:i]
+		}
+		return body
+	case strings.HasPrefix(ct, serve.ContentFrames):
+		if len(body) < 4 {
+			return nil
+		}
+		n := binary.LittleEndian.Uint32(body)
+		if uint64(n) > uint64(len(body)-4) {
+			return nil
+		}
+		return body[4 : 4+int(n)]
+	default:
+		return body
+	}
 }
 
 // readBody buffers a bounded request body for re-sending across
@@ -445,7 +479,8 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var rb routeBody
-	if err := json.Unmarshal(body, &rb); err != nil || rb.Scheme == "" || rb.Compressor == "" {
+	env := envelopeJSON(req.Header.Get("Content-Type"), body)
+	if err := json.Unmarshal(env, &rb); err != nil || rb.Scheme == "" || rb.Compressor == "" {
 		http.Error(w, `{"error":"scheme and compressor are required"}`, http.StatusBadRequest)
 		return
 	}

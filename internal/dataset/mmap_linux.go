@@ -1,0 +1,52 @@
+//go:build linux
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// hostLittleEndian reports the native byte order once at init; raw .f32
+// files are little-endian, so only a little-endian host may reinterpret
+// the mapping in place.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// mapFloat32 maps a raw little-endian float32 file of exactly n elements
+// read-only and reinterprets the mapping in place — the zero-copy reload
+// path of the tiered cache. raw is the file's backing bytes (hash them,
+// then unmapRaw when the entry dies); isMapped reports whether raw is an
+// mmap region that unmapRaw must return. The mapping is PROT_READ, so a
+// stray write through the reloaded buffer faults instead of silently
+// diverging from the spill file.
+func mapFloat32(path string, n int) (fl []float32, raw []byte, isMapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if st.Size() != int64(4*n) {
+		return nil, nil, false, fmt.Errorf("dataset: %s is %d bytes, want %d", path, st.Size(), 4*n)
+	}
+	if !hostLittleEndian || n == 0 {
+		return readFloat32(path, n)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("dataset: mmap %s: %w", path, err)
+	}
+	fl = unsafe.Slice((*float32)(unsafe.Pointer(&m[0])), n)
+	return fl, m, true, nil
+}
+
+// unmapRaw returns a region obtained from mapFloat32 with isMapped=true.
+func unmapRaw(raw []byte) { syscall.Munmap(raw) }

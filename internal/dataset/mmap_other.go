@@ -1,0 +1,11 @@
+//go:build !linux
+
+package dataset
+
+// mapFloat32 falls back to a copying read where mmap is unavailable; the
+// digest verification contract is identical, only zero-copy is lost.
+func mapFloat32(path string, n int) ([]float32, []byte, bool, error) {
+	return readFloat32(path, n)
+}
+
+func unmapRaw([]byte) {}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pressio"
+)
+
+// TieredPlugin adapts a TieredCache into the Plugin pipeline so the
+// Figure-2 stack composes as loader → local_cache → sampler with the
+// tiered cache as the local_cache stage: a Sampler (or any other
+// wrapper) stacked on top sees fields × steps entries and pays only for
+// the payloads it actually loads.
+//
+// Plugin's LoadData contract has no release step, so the adapter pins
+// one handle per loaded entry (re-loading an entry reuses the pin) and
+// Close releases them all. Callers must not use returned buffers after
+// Close.
+type TieredPlugin struct {
+	cache  *TieredCache
+	fields []string
+	steps  int
+	dims   []int
+
+	mu      sync.Mutex
+	handles map[int]*Handle
+}
+
+// NewTieredPlugin exposes fields × steps cells of cache at dims as a
+// Plugin, in field-major order (field f, step t ↦ index f*steps+t).
+func NewTieredPlugin(cache *TieredCache, fields []string, steps int, dims []int) (*TieredPlugin, error) {
+	if len(fields) == 0 || steps <= 0 {
+		return nil, fmt.Errorf("dataset: tiered plugin needs fields and steps")
+	}
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("dataset: tiered plugin: want 3 dims, got %v", dims)
+	}
+	return &TieredPlugin{
+		cache:   cache,
+		fields:  append([]string(nil), fields...),
+		steps:   steps,
+		dims:    append([]int(nil), dims...),
+		handles: map[int]*Handle{},
+	}, nil
+}
+
+// Name implements Plugin.
+func (p *TieredPlugin) Name() string { return "tiered" }
+
+// Len implements Plugin.
+func (p *TieredPlugin) Len() int { return len(p.fields) * p.steps }
+
+func (p *TieredPlugin) cell(i int) (field string, step int) {
+	return p.fields[i/p.steps], i % p.steps
+}
+
+// LoadMetadata implements Plugin without touching payload bytes.
+func (p *TieredPlugin) LoadMetadata(i int) (Metadata, error) {
+	if err := checkIndex(p, i); err != nil {
+		return Metadata{}, err
+	}
+	field, step := p.cell(i)
+	attrs := pressio.Options{}
+	attrs.Set("dataset:field", field)
+	attrs.Set("dataset:step", int64(step))
+	return Metadata{
+		Name:  fmt.Sprintf("%s.t%02d", field, step),
+		DType: pressio.DTypeFloat32,
+		Dims:  append([]int(nil), p.dims...),
+		Attrs: attrs,
+	}, nil
+}
+
+// LoadData implements Plugin, pinning the cell until Close.
+func (p *TieredPlugin) LoadData(i int) (*pressio.Data, error) {
+	if err := checkIndex(p, i); err != nil {
+		return nil, err
+	}
+	field, step := p.cell(i)
+	p.mu.Lock()
+	if h, ok := p.handles[i]; ok {
+		p.mu.Unlock()
+		return h.Data(), nil
+	}
+	p.mu.Unlock()
+	h, err := p.cache.Acquire(field, step, p.dims)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if prev, ok := p.handles[i]; ok {
+		// a concurrent load won; keep its pin
+		p.mu.Unlock()
+		h.Release()
+		return prev.Data(), nil
+	}
+	p.handles[i] = h
+	p.mu.Unlock()
+	//lint:ignore pressiovet/poolescape h is pinned in p.handles until Close; the branch above released the duplicate, not this handle
+	return h.Data(), nil
+}
+
+// LoadMetadataAll implements Plugin.
+func (p *TieredPlugin) LoadMetadataAll() ([]Metadata, error) { return loadMetadataAll(p) }
+
+// LoadDataAll implements Plugin.
+func (p *TieredPlugin) LoadDataAll() ([]*pressio.Data, error) { return loadDataAll(p) }
+
+// SetOptions implements Plugin.
+func (p *TieredPlugin) SetOptions(pressio.Options) error { return nil }
+
+// Options implements Plugin.
+func (p *TieredPlugin) Options() pressio.Options {
+	o := pressio.Options{}
+	o.Set("tiered:fields", append([]string(nil), p.fields...))
+	o.Set("tiered:steps", int64(p.steps))
+	return o
+}
+
+// Close releases every pinned handle. The plugin is reusable after
+// Close; previously returned buffers are not.
+func (p *TieredPlugin) Close() {
+	p.mu.Lock()
+	handles := p.handles
+	p.handles = map[int]*Handle{}
+	p.mu.Unlock()
+	for _, h := range handles {
+		h.Release()
+	}
+}

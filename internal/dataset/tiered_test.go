@@ -1,0 +1,347 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/hurricane"
+	"repro/internal/pressio"
+)
+
+var tieredDims = []int{4, 4, 4} // 64 floats = 256 bytes per cell
+
+func tieredBytes() int64 { return 4 * 64 }
+
+// TestTieredPointerIdentity: every Acquire of a resident cell returns
+// the SAME *pressio.Data — the property stats.SummaryOf's
+// (pointer, version) cache keys on to share summaries across requests.
+func TestTieredPointerIdentity(t *testing.T) {
+	c, err := NewTiered(TieredConfig{CapacityBytes: 10 * tieredBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Release()
+	h2, err := c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if h1.Data() != h2.Data() {
+		t.Fatal("second Acquire returned a different buffer pointer")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.MemHits != 1 {
+		t.Fatalf("want 1 miss + 1 mem hit, got %+v", st)
+	}
+	want, _ := hurricane.Field("P", 0, tieredDims)
+	if got := h1.Data().Float32(); got[7] != want.Float32()[7] {
+		t.Fatalf("cached cell diverges from hurricane.Field: %v vs %v", got[7], want.Float32()[7])
+	}
+}
+
+// TestTieredSpillDigestMatchesManifest pins the spill format against the
+// corpus manifest: a cell spilled by the tiered cache is byte-identical
+// (same name, same SHA-256) to the file BuildCorpus writes for the same
+// (field, step, dims, seed 0) cell.
+func TestTieredSpillDigestMatchesManifest(t *testing.T) {
+	corpusDir := t.TempDir()
+	m, _, err := BuildCorpus(corpusDir, []string{"P", "TC"}, 2, tieredDims, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDir := t.TempDir()
+	c, err := NewTiered(TieredConfig{CapacityBytes: 10 * tieredBytes(), SpillDir: spillDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"P", "TC"} {
+		for step := 0; step < 2; step++ {
+			h, err := c.Acquire(field, step, tieredDims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Release()
+		}
+	}
+	for _, e := range m.Entries {
+		raw, err := os.ReadFile(filepath.Join(spillDir, e.File))
+		if err != nil {
+			t.Fatalf("spill missing for corpus file %s: %v", e.File, err)
+		}
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != e.SHA256 {
+			t.Fatalf("%s: spill digest %s != manifest digest %s", e.File, got, e.SHA256)
+		}
+		side, err := os.ReadFile(filepath.Join(spillDir, e.File+".sha256"))
+		if err != nil {
+			t.Fatalf("sidecar missing: %v", err)
+		}
+		if string(side) != e.SHA256+"\n" {
+			t.Fatalf("%s: sidecar %q != manifest digest", e.File, side)
+		}
+	}
+}
+
+// TestTieredMmapReload: an evicted-then-reacquired cell reloads from the
+// spill file byte-identically and (on platforms with mmap) without
+// copying, and the mapping is returned once the cell is evicted and
+// unpinned.
+func TestTieredMmapReload(t *testing.T) {
+	c, err := NewTiered(TieredConfig{CapacityBytes: tieredBytes(), SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	h, err = c.Acquire("TC", 0, tieredDims) // capacity is one cell: evicts P.t00
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("want 1 eviction, got %+v", st)
+	}
+
+	h, err = c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("reload should be a disk hit, got %+v", st)
+	}
+	want, _ := hurricane.Field("P", 0, tieredDims)
+	got := h.Data().Float32()
+	for i, v := range want.Float32() {
+		if got[i] != v {
+			t.Fatalf("reloaded element %d = %v, want %v", i, got[i], v)
+		}
+	}
+	// pin the reloaded cell while evicting it, then release: the backing
+	// must survive the eviction and be freed only on the last release
+	h2, err := c.Acquire("TC", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Release()
+	if got[0] != want.Float32()[0] {
+		t.Fatal("pinned buffer died on eviction")
+	}
+	h.Release()
+	//lint:ignore pressiovet/poolescape double Release is the idempotence contract under test
+	h.Release()
+	// only resident mappings may remain: the pinned-but-evicted cell's
+	// region must be returned on the last release
+	if st := c.Stats(); st.MappedBytes > st.ResidentBytes {
+		t.Fatalf("evicted+released mapping leaked: %+v", st)
+	}
+}
+
+// TestTieredTornSpill: a spill file torn by a crash (truncated payload,
+// stale sidecar) is detected by the digest check, dropped, and the cell
+// regenerated — the cache never serves bytes that don't verify.
+func TestTieredTornSpill(t *testing.T) {
+	spillDir := t.TempDir()
+	c, err := NewTiered(TieredConfig{CapacityBytes: tieredBytes(), SpillDir: spillDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	h, err = c.Acquire("TC", 0, tieredDims) // evict P.t00 from memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	path := filepath.Join(spillDir, spillName("P", 0, tieredDims))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil { // torn write
+		t.Fatal(err)
+	}
+
+	h, err = c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	st := c.Stats()
+	if st.DiskHits != 0 || st.Misses != 3 {
+		t.Fatalf("torn spill must regenerate (2 initial + 1 regen misses, 0 disk hits), got %+v", st)
+	}
+	want, _ := hurricane.Field("P", 0, tieredDims)
+	if h.Data().Float32()[3] != want.Float32()[3] {
+		t.Fatal("regenerated cell diverges")
+	}
+	// the rewrite must verify again
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(repaired)
+	side, err := os.ReadFile(path + ".sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(side) != hex.EncodeToString(sum[:])+"\n" {
+		t.Fatal("repaired spill's sidecar does not match its contents")
+	}
+}
+
+// TestTieredUnmanaged: a cell larger than the whole tier is served
+// through without evicting the working set.
+func TestTieredUnmanaged(t *testing.T) {
+	c, err := NewTiered(TieredConfig{CapacityBytes: tieredBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Release()
+	big, err := c.Acquire("P", 0, []int{8, 8, 8}) // 2 KiB > 256 B tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.ResidentBytes != tieredBytes() {
+		t.Fatalf("oversized cell must not thrash the tier: %+v", st)
+	}
+	big.Release()
+	// a second acquire is a fresh miss, not a hit
+	big2, err := c.Acquire("P", 0, []int{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big2.Release()
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("want 3 misses (small + 2 unmanaged), got %+v", st)
+	}
+}
+
+// TestTieredConcurrentAcquire: concurrent Acquires of one cold cell
+// share a single load and all observe the same pointer (run under -race).
+func TestTieredConcurrentAcquire(t *testing.T) {
+	c, err := NewTiered(TieredConfig{CapacityBytes: 10 * tieredBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	ptrs := make([]*pressio.Data, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			h, err := c.Acquire("W", 3, tieredDims)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ptrs[i] = h.Data()
+			h.Release()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatal("concurrent acquires observed different buffers")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("want exactly 1 load, got %+v", st)
+	}
+}
+
+// TestTieredBadField: loader errors propagate and don't wedge the cell.
+func TestTieredBadField(t *testing.T) {
+	c, err := NewTiered(TieredConfig{CapacityBytes: tieredBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("NOPE", 0, tieredDims); err == nil {
+		t.Fatal("want error for unknown field")
+	}
+	// the failed key must not poison later acquires
+	h, err := c.Acquire("P", 0, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+}
+
+// TestTieredPluginPipeline composes the Figure-2 stack with the tiered
+// cache as the local_cache stage: loader → tiered cache → sampler.
+func TestTieredPluginPipeline(t *testing.T) {
+	c, err := NewTiered(TieredConfig{CapacityBytes: 100 * tieredBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewTieredPlugin(c, []string{"P", "TC", "W"}, 4, tieredDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := NewSampler(p, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("sampler over 12 cells at 0.5 should pick 6, got %d", s.Len())
+	}
+	metas, err := s.LoadMetadataAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 0 {
+		t.Fatalf("metadata listing must not load payloads, got %+v", st)
+	}
+	for i, meta := range metas {
+		d, err := s.LoadData(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		field, ok := meta.Attrs.GetString("dataset:field")
+		if !ok {
+			t.Fatal("metadata missing dataset:field")
+		}
+		step, ok := meta.Attrs.GetInt("dataset:step")
+		if !ok {
+			t.Fatal("metadata missing dataset:step")
+		}
+		// the plugin serves the same shared buffer a direct Acquire pins
+		h, err := c.Acquire(field, int(step), tieredDims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Data() != d {
+			t.Fatalf("entry %s: plugin and cache disagree on the buffer", meta.Name)
+		}
+		h.Release()
+		if want := fmt.Sprintf("%s.t%02d", field, step); meta.Name != want {
+			t.Fatalf("metadata name %q, want %q", meta.Name, want)
+		}
+	}
+	if st := c.Stats(); st.Misses != 6 {
+		t.Fatalf("want 6 payload loads, got %+v", st)
+	}
+}

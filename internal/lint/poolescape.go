@@ -7,26 +7,32 @@ import (
 	"repro/internal/xtools/analysis"
 )
 
-const poolescapeDoc = `forbid sync.Pool scratch values from outliving their Put
+const poolescapeDoc = `forbid pooled/refcounted scratch values from outliving their release
 
 The block-parallel kernels (DESIGN.md §10) recycle scratch buffers
-through sync.Pool; correctness of the -race concurrency drill rests on
-each in-flight compression holding its buffer exclusively. Within a
-function that obtains a value from a sync.Pool this analyzer reports:
+through sync.Pool, and the tiered dataset cache (DESIGN.md §15) hands
+out refcounted mmap-backed handles; correctness of the -race concurrency
+drills rests on each in-flight computation holding its scratch
+exclusively until it surrenders it. The analyzer knows the repo's
+acquire/release pairs (see poolPairs): sync.Pool Get/Put and
+dataset.TieredCache.Acquire/dataset.Handle.Release. Within a function
+that acquires such a value it reports:
 
-  - a return statement that mentions the pooled value when the function
-    also Puts it (the caller would receive a buffer already surrendered
-    to the pool);
-  - any use of the pooled value after a non-deferred Put in the same
-    statement list;
-  - storing the pooled value into a struct field or package-level
+  - a return statement that mentions the acquired value when the
+    function also releases it (the caller would receive a buffer already
+    surrendered — for a cache handle, memory the evictor may unmap);
+  - any use of the acquired value after a non-deferred release in the
+    same statement list;
+  - storing the acquired value into a struct field or package-level
     variable (retention beyond the call);
-  - returning the pooled value from a function that never Puts it —
-    an ownership-transfer accessor. Deliberate accessors (GetWriter/
-    PutWriter pairs) carry //lint:ignore pressiovet/poolescape.
+  - returning the acquired value from a function that never releases
+    it — an ownership-transfer accessor. Deliberate accessors
+    (GetWriter/PutWriter pairs, handle-returning getters that also hand
+    the caller the release func) carry //lint:ignore
+    pressiovet/poolescape.
 
 Copies via append(<fresh slice>, v...) are recognized and not flagged.
-The analysis is per-function and syntactic: it does not chase pooled
+The analysis is per-function and syntactic: it does not chase acquired
 values through helper calls or into local struct fields.`
 
 // PoolEscape is the poolescape analyzer.
@@ -34,6 +40,22 @@ var PoolEscape = &analysis.Analyzer{
 	Name: "poolescape",
 	Doc:  poolescapeDoc,
 	Run:  runPoolEscape,
+}
+
+// poolPairs are the acquire/release method pairs the analyzer tracks,
+// by types.Func full name. The release method may live on the acquired
+// value itself (Handle.Release) or on the pool (sync.Pool.Put) — either
+// way a release "mentions" the tracked object, which is all the checks
+// need.
+var poolPairs = struct{ acquire, release []string }{
+	acquire: []string{
+		"(*sync.Pool).Get",
+		"(*repro/internal/dataset.TieredCache).Acquire",
+	},
+	release: []string{
+		"(*sync.Pool).Put",
+		"(*repro/internal/dataset.Handle).Release",
+	},
 }
 
 func runPoolEscape(pass *analysis.Pass) (any, error) {
@@ -51,20 +73,27 @@ func runPoolEscape(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// poolMethod reports whether call invokes method name on sync.Pool.
-func poolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+// poolCall reports whether call invokes one of the named methods
+// (types.Func full names, as listed in poolPairs).
+func poolCall(info *types.Info, call *ast.CallExpr, names []string) bool {
 	obj := calleeObj(info, call)
 	fn, ok := obj.(*types.Func)
 	if !ok {
 		return false
 	}
-	return fn.FullName() == "(*sync.Pool)."+name
+	full := fn.FullName()
+	for _, n := range names {
+		if full == n {
+			return true
+		}
+	}
+	return false
 }
 
 func analyzePoolFn(pass *analysis.Pass, idx *ignoreIndex, fn *ast.FuncDecl) {
 	info := pass.TypesInfo
 
-	// pass 1: variables bound to a sync.Pool Get result
+	// pass 1: variables bound to an acquire-call result
 	tracked := map[types.Object]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -76,7 +105,7 @@ func analyzePoolFn(pass *analysis.Pass, idx *ignoreIndex, fn *ast.FuncDecl) {
 			rhs = ast.Unparen(ta.X)
 		}
 		call, ok := rhs.(*ast.CallExpr)
-		if !ok || !poolMethod(info, call, "Get") {
+		if !ok || !poolCall(info, call, poolPairs.acquire) {
 			return true
 		}
 		if id, ok := as.Lhs[0].(*ast.Ident); ok {
@@ -90,11 +119,11 @@ func analyzePoolFn(pass *analysis.Pass, idx *ignoreIndex, fn *ast.FuncDecl) {
 		return
 	}
 
-	// pass 2: Put calls per tracked object (deferred or not)
+	// pass 2: release calls per tracked object (deferred or not)
 	putAny := map[types.Object]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !poolMethod(info, call, "Put") {
+		if !ok || !poolCall(info, call, poolPairs.release) {
 			return true
 		}
 		for obj := range tracked {
@@ -116,7 +145,7 @@ func analyzePoolFn(pass *analysis.Pass, idx *ignoreIndex, fn *ast.FuncDecl) {
 					}
 					if putAny[obj] {
 						idx.reportf(pass, n.Pos(),
-							"pooled %s is returned after being Put back: the caller would share a buffer the pool may hand to another goroutine", obj.Name())
+							"pooled %s is returned after being released: the caller would share memory the pool or cache may hand to another user", obj.Name())
 					} else {
 						idx.reportf(pass, n.Pos(),
 							"pooled %s escapes via return: copy it, or mark the deliberate ownership-transfer accessor with a lint:ignore", obj.Name())
@@ -189,12 +218,12 @@ func checkUseAfterPut(pass *analysis.Pass, idx *ignoreIndex, info *types.Info, s
 			for obj := range put {
 				if mentionsObj(info, st, obj) {
 					idx.reportf(pass, st.Pos(),
-						"pooled %s used after Put: the pool may already have handed it to another goroutine", obj.Name())
+						"pooled %s used after release: the pool or cache may already have handed its memory to another user", obj.Name())
 				}
 			}
 		}
 		if es, ok := st.(*ast.ExprStmt); ok {
-			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && poolMethod(info, call, "Put") {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && poolCall(info, call, poolPairs.release) {
 				for obj := range tracked {
 					if mentionsObj(info, call, obj) {
 						put[obj] = true

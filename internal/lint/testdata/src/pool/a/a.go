@@ -9,20 +9,20 @@ var bufPool = sync.Pool{New: func() any { return []byte(nil) }}
 func returnAfterPut() []byte {
 	b := bufPool.Get().([]byte)
 	bufPool.Put(b)
-	return b // want `pooled b is returned after being Put back`
+	return b // want `pooled b is returned after being released`
 }
 
 func deferReturn() []byte {
 	b := bufPool.Get().([]byte)
 	defer bufPool.Put(b)
-	return b // want `pooled b is returned after being Put back`
+	return b // want `pooled b is returned after being released`
 }
 
 func useAfterPut() byte {
 	b := bufPool.Get().([]byte)
 	b = append(b, 1)
 	bufPool.Put(b)
-	x := b[0] // want `pooled b used after Put`
+	x := b[0] // want `pooled b used after release`
 	return x
 }
 

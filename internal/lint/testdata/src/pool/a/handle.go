@@ -1,0 +1,59 @@
+// Handle-based acquire/release: the tiered dataset cache's
+// TieredCache.Acquire / Handle.Release pair is policed exactly like
+// sync.Pool Get/Put — a released handle's memory may be unmapped or
+// handed to another caller by the evictor.
+package a
+
+import "repro/internal/dataset"
+
+var cache dataset.TieredCache
+
+func handleUseAfterRelease() float32 {
+	h, err := cache.Acquire("P", 0, []int{8, 8, 8})
+	if err != nil {
+		return 0
+	}
+	h.Release()
+	x := h.Data()[0] // want `pooled h used after release`
+	return x
+}
+
+func handleReturnAfterRelease() *dataset.Handle {
+	h, _ := cache.Acquire("P", 0, nil)
+	h.Release()
+	return h // want `pooled h is returned after being released`
+}
+
+func handleLeak() *dataset.Handle {
+	h, _ := cache.Acquire("P", 0, nil)
+	return h // want `pooled h escapes via return`
+}
+
+func handleAccessor() (*dataset.Handle, error) {
+	h, err := cache.Acquire("P", 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore pressiovet/poolescape ownership transfers to the caller, which must Release the handle
+	return h, nil
+}
+
+type pinned struct {
+	h *dataset.Handle
+}
+
+func (p *pinned) storeHandle() {
+	h, _ := cache.Acquire("P", 0, nil)
+	p.h = h // want `pooled h stored in field h`
+	h.Release()
+}
+
+// deferred Release with a copy-out stays legal.
+func handleSnapshot() []float32 {
+	h, err := cache.Acquire("P", 0, nil)
+	if err != nil {
+		return nil
+	}
+	defer h.Release()
+	return append([]float32(nil), h.Data()...)
+}

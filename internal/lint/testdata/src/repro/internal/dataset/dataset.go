@@ -1,0 +1,23 @@
+// Package dataset is a minimal fixture stub of repro/internal/dataset:
+// just enough surface for poolescape's acquire/release matching, which
+// resolves methods by their types.Func full name — the stub and the
+// real package both yield (*repro/internal/dataset.TieredCache).Acquire
+// and (*repro/internal/dataset.Handle).Release.
+package dataset
+
+// Handle mirrors the real refcounted cache handle.
+type Handle struct{ data []float32 }
+
+// Data returns the handle's backing buffer.
+func (h *Handle) Data() []float32 { return h.data }
+
+// Release surrenders the handle back to the cache.
+func (h *Handle) Release() {}
+
+// TieredCache mirrors the real two-tier dataset cache.
+type TieredCache struct{}
+
+// Acquire checks out a refcounted handle on a cell's decoded data.
+func (c *TieredCache) Acquire(field string, step int, dims []int) (*Handle, error) {
+	return &Handle{}, nil
+}

@@ -1,0 +1,90 @@
+package scenario
+
+// TestScenarioBatch is the macro-benchmark behind the batch hot path's
+// ≥10x claim (`make scenario-check`): it runs the committed batch
+// scenario and its single-request twin back-to-back on the same deployed
+// topology shape — same corpus, same scheme, same bounds — and asserts
+// the batched mix clears at least the declared multiple of the single
+// mix's prediction throughput at no worse p99. Both runs also gate the
+// usual three ways (SLOs, committed BENCH_system.json baseline,
+// capacity-model conformance), so the speedup can't be bought by letting
+// either side degrade.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+func TestScenarioBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process macro-benchmark")
+	}
+	single, err := Load(filepath.Join("..", "..", "scenarios", "batch-single.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Load(filepath.Join("..", "..", "scenarios", "batch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Speedup == nil || batch.Speedup.Vs != single.Name {
+		t.Fatalf("batch scenario must declare a speedup gate vs %q", single.Name)
+	}
+
+	ctx := context.Background()
+	bin, err := BuildPredictd(ctx, filepath.Join("..", ".."), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := filepath.Join("..", "..", "BENCH_kernels.json")
+	// the two scenarios declare the identical corpus spec, so one
+	// manifest-verified corpus dir serves both runs
+	corpus := filepath.Join(t.TempDir(), "corpus")
+
+	doc, err := ReadDocument(filepath.Join("..", "..", "BENCH_system.json"))
+	if err != nil {
+		t.Fatalf("committed BENCH_system.json: %v (run `make scenario-baseline`)", err)
+	}
+
+	results := map[string]*SystemResult{}
+	for _, sc := range []*Scenario{single, batch} {
+		res, err := Run(ctx, sc, RunConfig{
+			Bin:            bin,
+			WorkDir:        t.TempDir(),
+			CorpusDir:      corpus,
+			KernelBaseline: kernels,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		results[sc.Name] = res
+		t.Logf("%s: %d requests (%d predictions), %.1f req qps / %.1f prediction qps, p50 %.1fms p99 %.1fms, %d errors",
+			sc.Name, res.Measured.Requests, res.Measured.Predictions,
+			res.Measured.AchievedQPS, res.Measured.PredictionQPS,
+			res.Measured.P50MS, res.Measured.P99MS, res.Measured.Errors)
+
+		if res.Measured.Requests == 0 {
+			t.Fatalf("%s: no steady-window requests completed", sc.Name)
+		}
+		for _, v := range CheckSLO(res, sc.SLO) {
+			t.Errorf("%s SLO: %s", sc.Name, v)
+		}
+		if err := CheckConformance(res); err != nil {
+			t.Errorf("%s conformance: %v", sc.Name, err)
+		}
+		base := doc.Scenarios[sc.Name]
+		if base == nil {
+			t.Fatalf("BENCH_system.json has no %q baseline (run `make scenario-baseline SCENARIO=scenarios/%s.json`)", sc.Name, sc.Name)
+		}
+		for _, f := range Compare(base, res, sc.Gate) {
+			t.Errorf("%s gate: %s", sc.Name, f.String())
+		}
+	}
+
+	// the tentpole claim: fresh-vs-fresh from the same machine and the
+	// same minutes, so the ratio is not an artifact of stale baselines
+	if err := CheckSpeedup(results[batch.Name], results[single.Name], batch.Speedup); err != nil {
+		t.Errorf("speedup: %v", err)
+	}
+}

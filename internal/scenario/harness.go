@@ -161,6 +161,10 @@ func Deploy(ctx context.Context, bin, workDir string, topo Topology) (*Harness, 
 			"-repl-dir", filepath.Join(dir, "repl"),
 			"-poll-interval", fmt.Sprintf("%dms", topo.PollIntervalMS),
 			"-ack-timeout", "3s",
+			// every deployed node gets a spill dir, so scenario load always
+			// exercises the dataset cache's mmap disk tier, not just the
+			// memory tier the unit tests cover
+			"-data-spill", filepath.Join(dir, "spill"),
 			"-ready-file", filepath.Join(dir, "ready"),
 		}
 		p := &Proc{Name: name, Base: bases[i], Dir: dir, args: args, bin: bin, log: logf}

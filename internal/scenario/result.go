@@ -19,6 +19,14 @@ type Metrics struct {
 	ErrorRate float64 `json:"error_rate"`
 	// AchievedQPS is steady completions over the steady wall-clock.
 	AchievedQPS float64 `json:"achieved_qps"`
+	// Predictions counts the predictions carried by successful steady
+	// requests: 1 per single predict, the batch size per batched predict.
+	// PredictionQPS is the amortized rate the batch scenarios' speedup
+	// claim compares — it diverges from AchievedQPS exactly when batching
+	// carries more than one prediction per request. (Both are zero in
+	// baselines recorded before batching existed.)
+	Predictions   int     `json:"predictions"`
+	PredictionQPS float64 `json:"prediction_qps"`
 	// Latency quantiles over steady-window requests, milliseconds.
 	P50MS float64 `json:"p50_ms"`
 	P90MS float64 `json:"p90_ms"`
@@ -95,6 +103,10 @@ func WriteDocument(path string, d *Document) error {
 func gateRules(g Gate) []gate.Rule {
 	return []gate.Rule{
 		{Metric: "achieved_qps", Worse: gate.LowerIsWorse, Tolerance: g.QPSTolerance},
+		// baselines recorded before batching carry prediction_qps 0, which
+		// LowerIsWorse treats as an always-passing floor — re-baselining
+		// tightens the gate automatically
+		{Metric: "prediction_qps", Worse: gate.LowerIsWorse, Tolerance: g.QPSTolerance},
 		{Metric: "p50_ms", Worse: gate.HigherIsWorse, Tolerance: g.LatencyTolerance, Slack: g.LatencySlackMS},
 		{Metric: "p99_ms", Worse: gate.HigherIsWorse, Tolerance: g.LatencyTolerance, Slack: g.LatencySlackMS},
 		{Metric: "error_rate", Worse: gate.HigherIsWorse, Tolerance: g.QPSTolerance, Slack: g.ErrorRateSlack},
@@ -103,10 +115,11 @@ func gateRules(g Gate) []gate.Rule {
 
 func metricRow(m Metrics) gate.Row {
 	return gate.Row{
-		"achieved_qps": m.AchievedQPS,
-		"p50_ms":       m.P50MS,
-		"p99_ms":       m.P99MS,
-		"error_rate":   m.ErrorRate,
+		"achieved_qps":   m.AchievedQPS,
+		"prediction_qps": m.PredictionQPS,
+		"p50_ms":         m.P50MS,
+		"p99_ms":         m.P99MS,
+		"error_rate":     m.ErrorRate,
 	}
 }
 
@@ -138,6 +151,28 @@ func CheckSLO(r *SystemResult, slo SLO) []string {
 	}
 	sort.Strings(v)
 	return v
+}
+
+// CheckSpeedup asserts the declared cross-scenario claim: cur's
+// prediction throughput is at least MinQPSRatio times vs's, at a p99 no
+// worse than MaxP99Ratio times vs's plus the absolute slack. vs is the
+// referenced scenario's committed baseline result.
+func CheckSpeedup(cur, vs *SystemResult, sp *Speedup) error {
+	if vs.Measured.PredictionQPS <= 0 {
+		return fmt.Errorf("speedup: baseline %s has no prediction_qps (re-baseline it)", vs.Scenario)
+	}
+	ratio := cur.Measured.PredictionQPS / vs.Measured.PredictionQPS
+	if ratio < sp.MinQPSRatio {
+		return fmt.Errorf("speedup: %s at %.1f prediction qps is only %.1fx %s's %.1f (want >= %.1fx)",
+			cur.Scenario, cur.Measured.PredictionQPS, ratio, vs.Scenario,
+			vs.Measured.PredictionQPS, sp.MinQPSRatio)
+	}
+	if bound := vs.Measured.P99MS*sp.MaxP99Ratio + sp.P99SlackMS; cur.Measured.P99MS > bound {
+		return fmt.Errorf("speedup: %s p99 %.1fms exceeds %.1fms (%s p99 %.1fms x %.2f + %.0fms slack)",
+			cur.Scenario, cur.Measured.P99MS, bound, vs.Scenario,
+			vs.Measured.P99MS, sp.MaxP99Ratio, sp.P99SlackMS)
+	}
+	return nil
 }
 
 // CheckConformance asserts the measured throughput is within the

@@ -93,10 +93,11 @@ type driver struct {
 	sc *Scenario
 	h  *Harness
 
-	mu        sync.Mutex
-	latencies []float64 // steady-window request latencies, ms
-	requests  int
-	errors    int
+	mu          sync.Mutex
+	latencies   []float64 // steady-window request latencies, ms
+	requests    int
+	errors      int
+	predictions int // predictions carried by successful steady requests
 }
 
 func (d *driver) post(ctx context.Context, path string, body any) (int, []byte, error) {
@@ -178,6 +179,30 @@ func (d *driver) prime(ctx context.Context) error {
 	return fmt.Errorf("priming job %s never finished", fr.JobID)
 }
 
+// cellRef resolves a corpus cell index to its (field, step) pair.
+func (d *driver) cellRef(cell int) (string, int) {
+	return d.sc.Corpus.Fields[cell/d.sc.Corpus.Steps], cell % d.sc.Corpus.Steps
+}
+
+// batchRequest builds one columnar /v1/predict/batch body covering
+// op.Batch cells starting at op.Cell, wrapping around the corpus.
+func (d *driver) batchRequest(op Op) serve.BatchRequest {
+	t := d.sc.Traffic
+	req := serve.BatchRequest{
+		Scheme:     t.Scheme,
+		Compressor: t.Compressor,
+		Options:    map[string]any{"pressio:abs": t.Bounds[0]},
+		Dims:       d.sc.Corpus.Dims,
+	}
+	cells := d.sc.Corpus.Cells()
+	for i := 0; i < op.Batch; i++ {
+		field, step := d.cellRef((op.Cell + i) % cells)
+		req.Fields = append(req.Fields, field)
+		req.Steps = append(req.Steps, step)
+	}
+	return req
+}
+
 // issue sends one scheduled op and records its outcome when steady.
 // Every 2xx is a success; anything else (including transport errors —
 // the 20s client timeout is the hang detector) is an error sample.
@@ -185,19 +210,20 @@ func (d *driver) issue(ctx context.Context, op Op) {
 	t := d.sc.Traffic
 	var path string
 	var body any
-	switch op.Kind {
-	case OpPredict:
-		field := d.sc.Corpus.Fields[op.Cell/d.sc.Corpus.Steps]
-		step := op.Cell % d.sc.Corpus.Steps
+	switch {
+	case op.Kind == OpPredict && op.Batch > 0:
+		path, body = "/v1/predict/batch", d.batchRequest(op)
+	case op.Kind == OpPredict:
+		field, step := d.cellRef(op.Cell)
 		path, body = "/v1/predict", serve.PredictRequest{
 			Scheme:     t.Scheme,
 			Compressor: t.Compressor,
 			Options:    map[string]any{"pressio:abs": t.Bounds[0]},
 			Data:       &serve.DataRef{Field: field, Step: step, Dims: d.sc.Corpus.Dims},
 		}
-	case OpFit:
+	case op.Kind == OpFit:
 		path, body = "/v1/fit", d.fitRequest(d.fitBounds(op.Seq))
-	case OpInvalidate:
+	case op.Kind == OpInvalidate:
 		path, body = "/v1/invalidate", serve.InvalidateRequest{Keys: t.InvalidateKeys}
 	}
 
@@ -214,6 +240,8 @@ func (d *driver) issue(ctx context.Context, op Op) {
 	d.latencies = append(d.latencies, elapsedMS)
 	if err != nil || status < 200 || status >= 300 {
 		d.errors++
+	} else {
+		d.predictions += op.Predictions()
 	}
 }
 
@@ -249,12 +277,14 @@ func (d *driver) drive(ctx context.Context) error {
 func (d *driver) metrics(ctx context.Context) (*Metrics, error) {
 	d.mu.Lock()
 	m := &Metrics{
-		Requests:    d.requests,
-		Errors:      d.errors,
-		AchievedQPS: float64(d.requests-d.errors) / d.sc.Traffic.SteadyS,
-		P50MS:       stats.Quantile(d.latencies, 0.50),
-		P90MS:       stats.Quantile(d.latencies, 0.90),
-		P99MS:       stats.Quantile(d.latencies, 0.99),
+		Requests:      d.requests,
+		Errors:        d.errors,
+		Predictions:   d.predictions,
+		AchievedQPS:   float64(d.requests-d.errors) / d.sc.Traffic.SteadyS,
+		PredictionQPS: float64(d.predictions) / d.sc.Traffic.SteadyS,
+		P50MS:         stats.Quantile(d.latencies, 0.50),
+		P90MS:         stats.Quantile(d.latencies, 0.90),
+		P99MS:         stats.Quantile(d.latencies, 0.99),
 	}
 	if d.requests > 0 {
 		m.ErrorRate = float64(d.errors) / float64(d.requests)
@@ -267,7 +297,10 @@ func (d *driver) metrics(ctx context.Context) (*Metrics, error) {
 	}
 	var hits, misses uint64
 	for _, st := range sts {
-		hits += st.CacheHits
+		// the four /statz buckets partition predictions exactly one way
+		// each: whole-request LRU, cell cache (single + batch items),
+		// coalesced windows, and computed misses
+		hits += st.CacheHits + st.CellHits + st.CoalescedHits
 		misses += st.CacheMisses
 		if st.Process.RSSBytes > m.MaxRSSBytes {
 			m.MaxRSSBytes = st.Process.RSSBytes

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/capacity"
 	"repro/internal/hurricane"
+	"repro/internal/serve"
 )
 
 // Topology declares the deployment: predictd replicas behind one router.
@@ -77,6 +78,27 @@ type Traffic struct {
 	// without evicting the serving model (a CI-stable mix); keys it does
 	// depend on force refit churn (a stress mix).
 	InvalidateKeys []string `json:"invalidate_keys"`
+	// BatchPct is the share of predict operations issued against
+	// /v1/predict/batch, in percent of predict traffic. A batched op
+	// still counts as one arrival in the Poisson process; it carries
+	// BatchSizes-many predictions in one request.
+	BatchPct float64 `json:"batch_pct"`
+	// BatchSizes is the batch-size distribution: each batched op draws
+	// its size uniformly from this list (seeded, like every other draw).
+	BatchSizes []int `json:"batch_sizes,omitempty"`
+}
+
+// MeanBatch is the mean of the declared batch-size distribution (0 when
+// the mix has no batch traffic).
+func (t Traffic) MeanBatch() float64 {
+	if t.BatchPct <= 0 || len(t.BatchSizes) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, n := range t.BatchSizes {
+		sum += n
+	}
+	return float64(sum) / float64(len(t.BatchSizes))
 }
 
 // SLO is the absolute pass/fail envelope on the measured steady window.
@@ -114,6 +136,24 @@ type Capacity struct {
 	ErrorBand float64 `json:"error_band"`
 }
 
+// Speedup declares a cross-scenario throughput claim: this scenario's
+// measured prediction throughput must be at least MinQPSRatio times the
+// referenced scenario's, at no worse p99 (times MaxP99Ratio plus an
+// absolute slack, since wall-clock quantiles are noisy). It is how the
+// batch scenario pins the ≥10x amortization claim against its
+// single-request twin in the same committed baseline file.
+type Speedup struct {
+	// Vs names the baseline scenario the ratio is taken against.
+	Vs string `json:"vs"`
+	// MinQPSRatio is the required prediction-QPS ratio (e.g. 10).
+	MinQPSRatio float64 `json:"min_qps_ratio"`
+	// MaxP99Ratio bounds this scenario's p99 relative to Vs's (1.0 =
+	// equal or better).
+	MaxP99Ratio float64 `json:"max_p99_ratio"`
+	// P99SlackMS is the absolute latency slack on the p99 bound.
+	P99SlackMS float64 `json:"p99_slack_ms"`
+}
+
 // Scenario is one declarative macro-benchmark.
 type Scenario struct {
 	Name     string   `json:"name"`
@@ -123,6 +163,9 @@ type Scenario struct {
 	SLO      SLO      `json:"slo"`
 	Gate     Gate     `json:"gate"`
 	Capacity Capacity `json:"capacity"`
+	// Speedup, when declared, additionally gates this scenario's result
+	// against another scenario's committed baseline.
+	Speedup *Speedup `json:"speedup,omitempty"`
 }
 
 // Load reads and validates a scenario file.
@@ -203,6 +246,27 @@ func (s *Scenario) Validate() error {
 	if t.InvalidatePct > 0 && len(t.InvalidateKeys) == 0 {
 		return fmt.Errorf("invalidate traffic needs invalidate_keys")
 	}
+	if t.BatchPct < 0 || t.BatchPct > 100 {
+		return fmt.Errorf("traffic.batch_pct %v outside [0, 100]", t.BatchPct)
+	}
+	if t.BatchPct > 0 {
+		if len(t.BatchSizes) == 0 {
+			return fmt.Errorf("batch traffic needs batch_sizes")
+		}
+		for _, n := range t.BatchSizes {
+			if n < 1 || n > serve.MaxBatchItems {
+				return fmt.Errorf("batch size %d outside [1, %d]", n, serve.MaxBatchItems)
+			}
+		}
+	}
+	if sp := s.Speedup; sp != nil {
+		if sp.Vs == "" || sp.Vs == s.Name {
+			return fmt.Errorf("speedup.vs must name another scenario")
+		}
+		if sp.MinQPSRatio <= 0 || sp.MaxP99Ratio <= 0 {
+			return fmt.Errorf("speedup ratios must be positive")
+		}
+	}
 	if s.SLO.MaxP50MS <= 0 || s.SLO.MaxP99MS <= 0 || s.SLO.MaxRSSBytes <= 0 {
 		return fmt.Errorf("slo must declare positive max_p50_ms, max_p99_ms, max_rss_bytes")
 	}
@@ -232,6 +296,8 @@ func (s *Scenario) CapacitySpec() capacity.Spec {
 		FitPct:        s.Traffic.FitPct,
 		InvalidatePct: s.Traffic.InvalidatePct,
 		HitRate:       s.Capacity.HitRate,
+		BatchPct:      s.Traffic.BatchPct,
+		MeanBatch:     s.Traffic.MeanBatch(),
 		FitCells:      s.Traffic.FitSteps * len(s.Traffic.Bounds),
 		Compressor:    s.Traffic.Compressor,
 		OverheadUS:    s.Capacity.OverheadUS,

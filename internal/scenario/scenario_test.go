@@ -18,7 +18,7 @@ func loadSmoke(t *testing.T) *Scenario {
 }
 
 func TestCommittedScenariosLoad(t *testing.T) {
-	for _, name := range []string{"smoke.json", "full.json"} {
+	for _, name := range []string{"smoke.json", "full.json", "batch.json", "batch-single.json"} {
 		sc, err := Load(filepath.Join("..", "..", "scenarios", name))
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
@@ -34,20 +34,25 @@ func TestCommittedScenariosLoad(t *testing.T) {
 
 func TestValidateRejects(t *testing.T) {
 	mutations := map[string]func(*Scenario){
-		"no name":            func(s *Scenario) { s.Name = "" },
-		"single node":        func(s *Scenario) { s.Topology.Nodes = 1 },
-		"unknown field":      func(s *Scenario) { s.Corpus.Fields = []string{"BOGUS"} },
-		"zero steps":         func(s *Scenario) { s.Corpus.Steps = 0 },
-		"bad dims":           func(s *Scenario) { s.Corpus.Dims = []int{8, 8} },
-		"mix not 100":        func(s *Scenario) { s.Traffic.PredictPct = 50 },
-		"zero qps":           func(s *Scenario) { s.Traffic.TargetQPS = 0 },
-		"zero steady":        func(s *Scenario) { s.Traffic.SteadyS = 0 },
-		"fit without bounds": func(s *Scenario) { s.Traffic.Bounds = nil },
-		"inval without keys": func(s *Scenario) { s.Traffic.InvalidateKeys = nil },
-		"zero p99 slo":       func(s *Scenario) { s.SLO.MaxP99MS = 0 },
-		"zero tolerance":     func(s *Scenario) { s.Gate.QPSTolerance = 0 },
-		"effective > nodes":  func(s *Scenario) { s.Capacity.EffectiveNodes = 99 },
-		"zero band":          func(s *Scenario) { s.Capacity.ErrorBand = 0 },
+		"no name":             func(s *Scenario) { s.Name = "" },
+		"single node":         func(s *Scenario) { s.Topology.Nodes = 1 },
+		"unknown field":       func(s *Scenario) { s.Corpus.Fields = []string{"BOGUS"} },
+		"zero steps":          func(s *Scenario) { s.Corpus.Steps = 0 },
+		"bad dims":            func(s *Scenario) { s.Corpus.Dims = []int{8, 8} },
+		"mix not 100":         func(s *Scenario) { s.Traffic.PredictPct = 50 },
+		"zero qps":            func(s *Scenario) { s.Traffic.TargetQPS = 0 },
+		"zero steady":         func(s *Scenario) { s.Traffic.SteadyS = 0 },
+		"fit without bounds":  func(s *Scenario) { s.Traffic.Bounds = nil },
+		"inval without keys":  func(s *Scenario) { s.Traffic.InvalidateKeys = nil },
+		"zero p99 slo":        func(s *Scenario) { s.SLO.MaxP99MS = 0 },
+		"zero tolerance":      func(s *Scenario) { s.Gate.QPSTolerance = 0 },
+		"effective > nodes":   func(s *Scenario) { s.Capacity.EffectiveNodes = 99 },
+		"zero band":           func(s *Scenario) { s.Capacity.ErrorBand = 0 },
+		"batch without sizes": func(s *Scenario) { s.Traffic.BatchPct = 50 },
+		"batch pct over 100":  func(s *Scenario) { s.Traffic.BatchPct = 101; s.Traffic.BatchSizes = []int{4} },
+		"oversized batch":     func(s *Scenario) { s.Traffic.BatchPct = 50; s.Traffic.BatchSizes = []int{4097} },
+		"speedup vs self":     func(s *Scenario) { s.Speedup = &Speedup{Vs: s.Name, MinQPSRatio: 10, MaxP99Ratio: 1} },
+		"speedup zero ratio":  func(s *Scenario) { s.Speedup = &Speedup{Vs: "other", MaxP99Ratio: 1} },
 	}
 	for name, mutate := range mutations {
 		sc := loadSmoke(t)
@@ -218,6 +223,91 @@ func TestCheckConformance(t *testing.T) {
 	r.Predicted = nil
 	if err := CheckConformance(r); err == nil {
 		t.Error("missing prediction passes conformance")
+	}
+}
+
+func loadBatch(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := Load(filepath.Join("..", "..", "scenarios", "batch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestScheduleBatchMix pins the batch draw's shape and determinism: a
+// 100% batch_pct mix batches every predict with a size from the declared
+// distribution, and two schedules of the same traffic are identical
+// including the batch draws.
+func TestScheduleBatchMix(t *testing.T) {
+	sc := loadBatch(t)
+	a := Schedule(sc.Traffic, sc.Corpus.Cells())
+	b := Schedule(sc.Traffic, sc.Corpus.Cells())
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedules: %d vs %d ops", len(a), len(b))
+	}
+	sizes := map[int]bool{}
+	for _, n := range sc.Traffic.BatchSizes {
+		sizes[n] = true
+	}
+	preds := 0
+	for i, op := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical schedules: %+v vs %+v", i, a[i], b[i])
+		}
+		if op.Kind == OpPredict && !sizes[op.Batch] {
+			t.Fatalf("op %d: predict with batch %d outside the declared distribution", i, op.Batch)
+		}
+		preds += op.Predictions()
+	}
+	// a fully-batched mix must amortize: many predictions per arrival
+	if preds < len(a)*sc.Traffic.BatchSizes[0] {
+		t.Errorf("%d predictions over %d ops — batching not applied", preds, len(a))
+	}
+	// and the single-mix smoke schedule must stay batch-free
+	for _, op := range Schedule(loadSmoke(t).Traffic, 8) {
+		if op.Batch != 0 {
+			t.Fatalf("smoke schedule drew a batch op: %+v", op)
+		}
+	}
+}
+
+// TestCheckSpeedup pins the cross-scenario claim arithmetic.
+func TestCheckSpeedup(t *testing.T) {
+	sp := &Speedup{Vs: "batch-single", MinQPSRatio: 10, MaxP99Ratio: 1.0, P99SlackMS: 50}
+	vs := baselineResult()
+	vs.Scenario = "batch-single"
+	vs.Measured.PredictionQPS = 30
+	vs.Measured.P99MS = 40
+
+	fast := baselineResult()
+	fast.Scenario = "batch"
+	fast.Measured.PredictionQPS = 480
+	fast.Measured.P99MS = 60 // worse, but within ratio+slack
+	if err := CheckSpeedup(fast, vs, sp); err != nil {
+		t.Errorf("16x at tolerable p99 fails: %v", err)
+	}
+
+	slow := baselineResult()
+	slow.Measured.PredictionQPS = 200 // only 6.7x
+	slow.Measured.P99MS = 40
+	if err := CheckSpeedup(slow, vs, sp); err == nil {
+		t.Error("6.7x passes a 10x gate")
+	}
+
+	laggy := baselineResult()
+	laggy.Measured.PredictionQPS = 480
+	laggy.Measured.P99MS = 200 // past 40*1.0+50
+	if err := CheckSpeedup(laggy, vs, sp); err == nil {
+		t.Error("p99 blowout passes the speedup gate")
+	}
+
+	stale := baselineResult()
+	stale.Measured.PredictionQPS = 480
+	old := baselineResult()
+	old.Measured.PredictionQPS = 0 // pre-batching baseline
+	if err := CheckSpeedup(stale, old, sp); err == nil {
+		t.Error("zero-prediction baseline should demand a re-baseline, not divide by zero")
 	}
 }
 

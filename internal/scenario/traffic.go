@@ -38,8 +38,24 @@ type Op struct {
 	// Seq is a per-kind counter: distinct fit sequences produce distinct
 	// training specs (distinct opthash, no dedup collapse).
 	Seq int
+	// Batch, when positive, issues this predict as one
+	// /v1/predict/batch request of Batch cells starting at Cell
+	// (wrapping around the corpus). Zero is a single /v1/predict.
+	Batch int
 	// Steady marks ops in the measured window (past warmup).
 	Steady bool
+}
+
+// Predictions is how many predictions the op carries: Batch for a
+// batched predict, 1 for a single predict, 0 otherwise.
+func (o Op) Predictions() int {
+	if o.Kind != OpPredict {
+		return 0
+	}
+	if o.Batch > 0 {
+		return o.Batch
+	}
+	return 1
 }
 
 // Schedule expands the traffic declaration into the full seeded arrival
@@ -74,11 +90,20 @@ func Schedule(t Traffic, cells int) []Op {
 		if cells > 0 {
 			cell = rng.Intn(cells)
 		}
+		// a predict arrival may be a batched one: same Poisson slot, one
+		// request, BatchSizes-many predictions (both draws are seeded, so
+		// the batch mix replays byte-identically too)
+		batch := 0
+		if kind == OpPredict && t.BatchPct > 0 && len(t.BatchSizes) > 0 &&
+			rng.Float64()*100 < t.BatchPct {
+			batch = t.BatchSizes[rng.Intn(len(t.BatchSizes))]
+		}
 		ops = append(ops, Op{
 			At:     at,
 			Kind:   kind,
 			Cell:   cell,
 			Seq:    seq[kind],
+			Batch:  batch,
 			Steady: at >= warmup,
 		})
 		seq[kind]++

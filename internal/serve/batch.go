@@ -1,0 +1,709 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hurricane"
+	"repro/internal/opthash"
+	"repro/internal/pressio"
+)
+
+// MaxBatchItems bounds one batch request, mirroring maxFitCells: a batch
+// is one pool slot, so an unbounded batch would be an unbounded slot.
+const MaxBatchItems = 4096
+
+// Batch request content types. The default (anything else, normally
+// application/json) is the columnar body; the other two are the
+// streaming variants: newline-delimited JSON and little-endian
+// u32-length-prefixed JSON frames. All three produce one result frame
+// per input item.
+const (
+	ContentNDJSON = "application/x-ndjson"
+	ContentFrames = "application/x-json-frames"
+)
+
+// BatchRequest is the columnar batch-predict body: one envelope
+// (scheme/compressor/options/alpha/dims) shared by every item, plus
+// parallel Fields/Steps arrays naming dataset cells — or, alternatively,
+// a flat row-major Features matrix (rows of len(scheme.Features())).
+// Exactly one of the two item forms must be present.
+type BatchRequest struct {
+	Scheme     string         `json:"scheme"`
+	Compressor string         `json:"compressor"`
+	Options    map[string]any `json:"options,omitempty"`
+	Alpha      float64        `json:"alpha,omitempty"`
+	Dims       []int          `json:"dims,omitempty"`
+	Fields     []string       `json:"fields,omitempty"`
+	Steps      []int          `json:"steps,omitempty"`
+	Features   []float64      `json:"features,omitempty"`
+}
+
+// batchItem is one streamed item frame (NDJSON line / binary frame).
+type batchItem struct {
+	Field    string    `json:"field,omitempty"`
+	Step     int       `json:"step,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+}
+
+// BatchItemResult is one item's outcome. Batches have partial-failure
+// semantics: a bad item sets Error and leaves the rest of the batch
+// intact, and the HTTP status stays 200.
+type BatchItemResult struct {
+	Prediction float64   `json:"prediction"`
+	Interval   []float64 `json:"interval,omitempty"`
+	Cached     bool      `json:"cached"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// BatchResponse is the columnar batch reply; Results is item-aligned
+// with the request.
+type BatchResponse struct {
+	Scheme     string            `json:"scheme"`
+	Compressor string            `json:"compressor"`
+	Target     string            `json:"target"`
+	Model      string            `json:"model,omitempty"`
+	Count      int               `json:"count"`
+	Errors     int               `json:"errors"`
+	Results    []BatchItemResult `json:"results"`
+}
+
+// batchSummary is the trailing frame of a streamed batch reply.
+type batchSummary struct {
+	Scheme     string `json:"scheme"`
+	Compressor string `json:"compressor"`
+	Target     string `json:"target"`
+	Model      string `json:"model,omitempty"`
+	Count      int    `json:"count"`
+	Errors     int    `json:"errors"`
+}
+
+// cellKey identifies one prediction cell: the request-shape base (scheme,
+// compressor, options, model, alpha, dims — everything a batch envelope
+// fixes) plus the (field, step) coordinates that vary per item. A struct
+// key keeps the hot-path map lookup allocation-free.
+type cellKey struct {
+	base  string
+	field string
+	step  int
+}
+
+// cellValue is a served cell prediction. interval is written once at add
+// and never mutated, so hits may share the slice header.
+type cellValue struct {
+	prediction float64
+	interval   []float64
+	scheme     string
+	model      string
+	target     string
+}
+
+// cellCache is the cell-granular LRU the batch and coalescing paths
+// share: where lruCache keys on whole request bodies, cellCache keys on
+// (envelope, field, step) so a batch, a coalesced single, and a plain
+// single request against the same cell all hit the same entry.
+type cellCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent; values are *cellItem
+	items map[cellKey]*list.Element
+}
+
+type cellItem struct {
+	key cellKey
+	val cellValue
+}
+
+func newCellCache(capacity int) *cellCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cellCache{cap: capacity, ll: list.New(), items: map[cellKey]*list.Element{}}
+}
+
+func (c *cellCache) get(k cellKey) (cellValue, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return cellValue{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cellItem).val, true
+}
+
+func (c *cellCache) add(k cellKey, v cellValue) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cellItem).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cellItem{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cellItem).key)
+	}
+}
+
+func (c *cellCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// evictIf drops every cell whose scheme the predicate matches — the
+// invalidation hook, mirroring lruCache.evictIf.
+func (c *cellCache) evictIf(pred func(scheme string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		item := el.Value.(*cellItem)
+		if pred(item.val.scheme) {
+			c.ll.Remove(el)
+			delete(c.items, item.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// batchGroup is the resolved per-batch context every item shares: one
+// scheme lookup, one options merge, one model lookup, one cell-key base
+// — amortized over the whole batch instead of paid per request. The
+// lazily resolved predictor makes a group single-goroutine: each batch
+// (or coalesce flush) builds and walks its own.
+type batchGroup struct {
+	schemeName string
+	compressor string
+	scheme     core.Scheme
+	opts       pressio.Options
+	entry      *ModelEntry
+	model      string
+	target     string
+	alpha      float64
+	dims       [3]int
+	base       string
+	pred       core.Predictor
+}
+
+// cellBase hashes the envelope part of a cell identity. The model key is
+// folded in so a re-fit can never serve cells cached from the previous
+// model, exactly as requestKey does for whole requests.
+func cellBase(schemeName, compressor string, opts pressio.Options, modelKey string, alpha float64, dims [3]int) string {
+	ro := pressio.Options{}
+	ro.Set("req:scheme", schemeName)
+	ro.Set("req:compressor", compressor)
+	ro.Set("req:dims", dimsKey(dims[:]))
+	if alpha > 0 {
+		ro.Set("req:alpha", alpha)
+	}
+	return opthash.Combine(ro, opts) + "/" + modelKey
+}
+
+// newBatchGroup assembles a group from already-validated parts; dims
+// must be exactly 3 long.
+func newBatchGroup(schemeName, compressor string, scheme core.Scheme, opts pressio.Options, entry *ModelEntry, alpha float64, dims []int) *batchGroup {
+	g := &batchGroup{
+		schemeName: schemeName,
+		compressor: compressor,
+		scheme:     scheme,
+		opts:       opts,
+		entry:      entry,
+		target:     scheme.Target(),
+		alpha:      alpha,
+		dims:       [3]int{dims[0], dims[1], dims[2]},
+	}
+	if entry != nil {
+		g.model = entry.Key
+	}
+	g.base = cellBase(schemeName, compressor, opts, g.model, alpha, g.dims)
+	return g
+}
+
+// resolveGroup validates a batch envelope and resolves the state every
+// item shares, mirroring the single-path status semantics (404 unknown
+// scheme / missing model, 400 everything else client-shaped). The int is
+// the HTTP status when err is non-nil.
+func (s *Server) resolveGroup(schemeName, compressor string, rawOpts map[string]any, alpha float64, dims []int) (*batchGroup, int, error) {
+	if schemeName == "" || compressor == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("scheme and compressor are required")
+	}
+	scheme, err := core.GetScheme(schemeName)
+	if err != nil {
+		return nil, http.StatusNotFound, err
+	}
+	if !scheme.Supports(compressor) {
+		return nil, http.StatusBadRequest, fmt.Errorf("scheme %s does not support compressor %s", schemeName, compressor)
+	}
+	opts, err := s.requestOptions(rawOpts)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	s.stats.scheme(schemeName)
+	var entry *ModelEntry
+	if trains, terr := schemeTrains(scheme, compressor); terr != nil {
+		return nil, http.StatusBadRequest, terr
+	} else if trains {
+		entry, err = s.registry.Lookup(schemeName, compressor)
+		if errors.Is(err, ErrNoModel) {
+			return nil, http.StatusNotFound, fmt.Errorf("%w — POST /v1/fit first", err)
+		} else if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	if len(dims) == 0 {
+		dims = defaultDataDims
+	}
+	if len(dims) != 3 {
+		return nil, http.StatusBadRequest, fmt.Errorf("batch cells want 3 dims, got %v", dims)
+	}
+	if err := checkDims(dims); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return newBatchGroup(schemeName, compressor, scheme, opts, entry, alpha, dims), 0, nil
+}
+
+// groupPredictor resolves the group's predictor once per batch. Groups
+// are single-goroutine, so the memo field needs no lock.
+func (s *Server) groupPredictor(g *batchGroup) (core.Predictor, error) {
+	if g.pred != nil {
+		return g.pred, nil
+	}
+	var err error
+	if g.entry != nil {
+		g.pred, err = s.predictorFor(g.entry)
+	} else {
+		g.pred, err = g.scheme.NewPredictor(g.compressor)
+	}
+	return g.pred, err
+}
+
+// cellHitInto serves a cell from the cell cache; false means miss. The
+// hit path is allocation-free — BenchmarkServePredictBatch pins that.
+func (s *Server) cellHitInto(g *batchGroup, field string, step int, out *BatchItemResult) bool {
+	v, ok := s.cells.get(cellKey{base: g.base, field: field, step: step})
+	if !ok {
+		return false
+	}
+	out.Prediction = v.prediction
+	out.Interval = v.interval
+	out.Cached = true
+	out.Error = ""
+	return true
+}
+
+// predictFeatureRow runs the group's predictor over one feature row.
+func (s *Server) predictFeatureRow(g *batchGroup, features []float64, out *BatchItemResult) {
+	if len(features) != len(g.scheme.Features()) {
+		out.Error = fmt.Sprintf("scheme %s wants %d features, got %d", g.schemeName, len(g.scheme.Features()), len(features))
+		return
+	}
+	p, err := s.groupPredictor(g)
+	if err != nil {
+		out.Error = err.Error()
+		return
+	}
+	if g.alpha > 0 {
+		if ip, ok := p.(core.IntervalPredictor); ok {
+			pred, lo, hi, err := ip.PredictInterval(features, g.alpha)
+			if err != nil {
+				out.Error = err.Error()
+				return
+			}
+			out.Prediction = pred
+			out.Interval = []float64{lo, hi}
+			return
+		}
+	}
+	v, err := p.Predict(features)
+	if err != nil {
+		out.Error = err.Error()
+		return
+	}
+	out.Prediction = v
+}
+
+// predictCellMiss computes one cold cell: data through the tiered
+// dataset cache (pinned for exactly the feature pass), features through
+// the scheme's metrics, prediction through the group predictor, result
+// into the cell cache.
+func (s *Server) predictCellMiss(ctx context.Context, g *batchGroup, field string, step int, out *BatchItemResult) {
+	if err := ctx.Err(); err != nil {
+		out.Error = err.Error()
+		return
+	}
+	var data *pressio.Data
+	if s.data != nil {
+		h, err := s.data.Acquire(field, step, g.dims[:])
+		if err != nil {
+			out.Error = err.Error()
+			return
+		}
+		defer h.Release()
+		data = h.Data()
+	} else {
+		d, err := hurricane.Field(field, step, g.dims[:])
+		if err != nil {
+			out.Error = err.Error()
+			return
+		}
+		data = d
+	}
+	features, err := computeFeatures(ctx, g.scheme, g.compressor, g.opts, data)
+	if err != nil {
+		out.Error = err.Error()
+		return
+	}
+	s.predictFeatureRow(g, features, out)
+	if out.Error != "" {
+		return
+	}
+	s.cells.add(cellKey{base: g.base, field: field, step: step}, cellValue{
+		prediction: out.Prediction,
+		interval:   out.Interval,
+		scheme:     g.schemeName,
+		model:      g.model,
+		target:     g.target,
+	})
+}
+
+// predictCell is cellHitInto-else-predictCellMiss — the unit the
+// coalescer flushes per distinct cell.
+func (s *Server) predictCell(ctx context.Context, g *batchGroup, field string, step int, out *BatchItemResult) {
+	if s.cellHitInto(g, field, step, out) {
+		return
+	}
+	s.predictCellMiss(ctx, g, field, step, out)
+}
+
+// predictBatchItems serves every item of a decoded batch into the
+// item-aligned results slice on the calling goroutine (the handler wraps
+// the call in one worker-pool slot). This is the steady-state core the
+// serve benchmark measures.
+func (s *Server) predictBatchItems(ctx context.Context, g *batchGroup, req *BatchRequest, results []BatchItemResult) (hits, errs int) {
+	if len(req.Features) > 0 {
+		nf := len(g.scheme.Features())
+		for i := range results {
+			s.predictFeatureRow(g, req.Features[i*nf:(i+1)*nf], &results[i])
+			if results[i].Error != "" {
+				errs++
+			}
+		}
+		return 0, errs
+	}
+	for i := range results {
+		if s.cellHitInto(g, req.Fields[i], req.Steps[i], &results[i]) {
+			hits++
+			continue
+		}
+		s.predictCellMiss(ctx, g, req.Fields[i], req.Steps[i], &results[i])
+		if results[i].Error != "" {
+			errs++
+		}
+	}
+	return hits, errs
+}
+
+// batchScratch is the pooled decode/compute scratch of one batch
+// request: the envelope (slices reused across requests by resetting
+// length, not capacity), the item-aligned results, and the stream
+// buffers. Owned by exactly one handler between Get and Put.
+type batchScratch struct {
+	req     BatchRequest
+	results []BatchItemResult
+	item    batchItem
+	buf     []byte
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// reset clears request-scoped state while keeping allocated capacity.
+// The options map must be emptied explicitly: json.Unmarshal adds keys
+// to an existing map without clearing it.
+func (sc *batchScratch) reset() {
+	sc.req.Scheme, sc.req.Compressor = "", ""
+	sc.req.Alpha = 0
+	sc.req.Dims = sc.req.Dims[:0]
+	sc.req.Fields = sc.req.Fields[:0]
+	sc.req.Steps = sc.req.Steps[:0]
+	sc.req.Features = sc.req.Features[:0]
+	clear(sc.req.Options)
+	sc.results = sc.results[:0]
+}
+
+// resetItem clears the per-frame decode target between stream frames.
+func (sc *batchScratch) resetItem() {
+	sc.item.Field = ""
+	sc.item.Step = 0
+	sc.item.Features = sc.item.Features[:0]
+}
+
+// appendItem folds one decoded stream frame into the columnar envelope.
+func (sc *batchScratch) appendItem() {
+	if len(sc.item.Features) > 0 {
+		sc.req.Features = append(sc.req.Features, sc.item.Features...)
+		return
+	}
+	sc.req.Fields = append(sc.req.Fields, sc.item.Field)
+	sc.req.Steps = append(sc.req.Steps, sc.item.Step)
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfterPredict())
+		return writeError(w, http.StatusServiceUnavailable, "draining")
+	}
+	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	ct = strings.TrimSpace(ct)
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.reset()
+	var status int
+	var err error
+	switch ct {
+	case ContentNDJSON:
+		status, err = decodeBatchNDJSON(w, r, sc)
+	case ContentFrames:
+		status, err = decodeBatchFrames(w, r, sc)
+	default:
+		status, err = decodeJSON(w, r, &sc.req)
+	}
+	if err != nil {
+		status = writeError(w, status, "%v", err)
+	} else {
+		status = s.runBatch(w, r, sc, ct)
+	}
+	batchScratchPool.Put(sc)
+	return status
+}
+
+// runBatch validates the decoded batch, computes it in one worker-pool
+// slot, and encodes the reply in the request's content type.
+func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, sc *batchScratch, ct string) int {
+	req := &sc.req
+	g, status, err := s.resolveGroup(req.Scheme, req.Compressor, req.Options, req.Alpha, req.Dims)
+	if err != nil {
+		return writeError(w, status, "%v", err)
+	}
+	featureMode := len(req.Features) > 0
+	if featureMode && len(req.Fields) > 0 {
+		return writeError(w, http.StatusBadRequest, "a batch is either fields/steps cells or feature rows, not both")
+	}
+	var n int
+	if featureMode {
+		nf := len(g.scheme.Features())
+		if len(req.Features)%nf != 0 {
+			return writeError(w, http.StatusBadRequest, "features length %d is not a multiple of the scheme's %d features", len(req.Features), nf)
+		}
+		n = len(req.Features) / nf
+	} else {
+		if len(req.Fields) != len(req.Steps) {
+			return writeError(w, http.StatusBadRequest, "fields (%d) and steps (%d) must be parallel", len(req.Fields), len(req.Steps))
+		}
+		n = len(req.Fields)
+	}
+	if n == 0 {
+		return writeError(w, http.StatusBadRequest, "empty batch")
+	}
+	if n > MaxBatchItems {
+		return writeError(w, http.StatusBadRequest, "batch of %d items exceeds the %d-item budget", n, MaxBatchItems)
+	}
+	if cap(sc.results) < n {
+		sc.results = make([]BatchItemResult, n)
+	} else {
+		sc.results = sc.results[:n]
+		for i := range sc.results {
+			sc.results[i] = BatchItemResult{}
+		}
+	}
+
+	// one pool slot computes the whole batch — that amortization is the
+	// point of the endpoint; a full queue sheds the whole batch with 429
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
+	defer cancel()
+	done := make(chan struct{})
+	var hits, errs int
+	submitted := s.pool.trySubmit(func() {
+		defer close(done)
+		if s.cfg.testHookBatchFlush != nil {
+			s.cfg.testHookBatchFlush()
+		}
+		hits, errs = s.predictBatchItems(ctx, g, req, sc.results)
+	})
+	if !submitted {
+		s.stats.reject()
+		w.Header().Set("Retry-After", s.retryAfterPredict())
+		return writeError(w, http.StatusTooManyRequests, "saturated: %d workers busy, queue full", s.cfg.Workers)
+	}
+	// wait for the task, not the context: the task honors ctx internally,
+	// and returning early would hand the pooled scratch back while the
+	// task still writes into it
+	<-done
+	s.stats.batch(n, hits, errs)
+
+	sum := batchSummary{
+		Scheme: g.schemeName, Compressor: g.compressor, Target: g.target,
+		Model: g.model, Count: n, Errors: errs,
+	}
+	switch ct {
+	case ContentNDJSON:
+		return writeBatchNDJSON(w, sc.results, sum)
+	case ContentFrames:
+		return writeBatchFrames(w, sc.results, sum)
+	default:
+		return writeJSON(w, http.StatusOK, BatchResponse{
+			Scheme: sum.Scheme, Compressor: sum.Compressor, Target: sum.Target,
+			Model: sum.Model, Count: sum.Count, Errors: sum.Errors,
+			Results: sc.results,
+		})
+	}
+}
+
+// statusForBodyErr maps a stream read error to 413 (body cap) or 400.
+func statusForBodyErr(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// decodeBatchNDJSON reads the streaming NDJSON body: line 1 is the
+// envelope (a BatchRequest, which may itself carry columnar items),
+// every further line one batchItem.
+func decodeBatchNDJSON(w http.ResponseWriter, r *http.Request, sc *batchScratch) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	scn := bufio.NewScanner(r.Body)
+	if cap(sc.buf) == 0 {
+		sc.buf = make([]byte, 0, 4096)
+	}
+	scn.Buffer(sc.buf[:0], maxBodyBytes)
+	first := true
+	for scn.Scan() {
+		line := bytes.TrimSpace(scn.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			if err := json.Unmarshal(line, &sc.req); err != nil {
+				return http.StatusBadRequest, fmt.Errorf("bad envelope line: %v", err)
+			}
+			first = false
+			continue
+		}
+		sc.resetItem()
+		if err := json.Unmarshal(line, &sc.item); err != nil {
+			return http.StatusBadRequest, fmt.Errorf("bad item line: %v", err)
+		}
+		sc.appendItem()
+	}
+	if err := scn.Err(); err != nil {
+		return statusForBodyErr(err), fmt.Errorf("reading ndjson body: %v", err)
+	}
+	if first {
+		return http.StatusBadRequest, fmt.Errorf("empty ndjson body: want an envelope line")
+	}
+	return 0, nil
+}
+
+// decodeBatchFrames reads the binary streaming body: little-endian u32
+// length prefixes, first frame the envelope, every further frame one
+// batchItem.
+func decodeBatchFrames(w http.ResponseWriter, r *http.Request, sc *batchScratch) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	br := bufio.NewReader(r.Body)
+	var hdr [4]byte
+	first := true
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return statusForBodyErr(err), fmt.Errorf("reading frame header: %v", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > maxBodyBytes {
+			return http.StatusBadRequest, fmt.Errorf("bad frame length %d", n)
+		}
+		if cap(sc.buf) < int(n) {
+			sc.buf = make([]byte, n)
+		}
+		sc.buf = sc.buf[:n]
+		if _, err := io.ReadFull(br, sc.buf); err != nil {
+			return statusForBodyErr(err), fmt.Errorf("reading %d-byte frame: %v", n, err)
+		}
+		if first {
+			if err := json.Unmarshal(sc.buf, &sc.req); err != nil {
+				return http.StatusBadRequest, fmt.Errorf("bad envelope frame: %v", err)
+			}
+			first = false
+			continue
+		}
+		sc.resetItem()
+		if err := json.Unmarshal(sc.buf, &sc.item); err != nil {
+			return http.StatusBadRequest, fmt.Errorf("bad item frame: %v", err)
+		}
+		sc.appendItem()
+	}
+	if first {
+		return http.StatusBadRequest, fmt.Errorf("empty frame body: want an envelope frame")
+	}
+	return 0, nil
+}
+
+// writeBatchNDJSON streams one result line per item plus a summary line.
+func writeBatchNDJSON(w http.ResponseWriter, results []BatchItemResult, sum batchSummary) int {
+	w.Header().Set("Content-Type", ContentNDJSON)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i := range results {
+		enc.Encode(&results[i])
+	}
+	enc.Encode(sum)
+	return http.StatusOK
+}
+
+// writeBatchFrames streams one length-prefixed result frame per item
+// plus a summary frame.
+func writeBatchFrames(w http.ResponseWriter, results []BatchItemResult, sum batchSummary) int {
+	w.Header().Set("Content-Type", ContentFrames)
+	w.WriteHeader(http.StatusOK)
+	for i := range results {
+		writeFrame(w, &results[i])
+	}
+	writeFrame(w, sum)
+	return http.StatusOK
+}
+
+func writeFrame(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

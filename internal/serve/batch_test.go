@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pressio"
+)
+
+// TestPredictBatchColumnar drives the columnar JSON batch body: one
+// envelope, parallel fields/steps, item-aligned results, and cell-cache
+// hits on the second pass.
+func TestPredictBatchColumnar(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := BatchRequest{
+		Scheme: "khan2023", Compressor: "sz3", Dims: []int{8, 8, 8},
+		Fields: []string{"P", "TC", "P"},
+		Steps:  []int{0, 0, 1},
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 3 || out.Errors != 0 || len(out.Results) != 3 {
+		t.Fatalf("want 3 clean results, got %+v", out)
+	}
+	for i, r := range out.Results {
+		if r.Error != "" || r.Prediction <= 0 {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+		if r.Cached {
+			t.Fatalf("result %d cached on a cold cache", i)
+		}
+	}
+	// the single-request path must agree with the batch path cell-for-cell
+	sresp, sraw := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Scheme: "khan2023", Compressor: "sz3",
+		Data: &DataRef{Field: "P", Step: 0, Dims: []int{8, 8, 8}},
+	})
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("single status %d: %s", sresp.StatusCode, sraw)
+	}
+	var single PredictResponse
+	if err := json.Unmarshal(sraw, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Prediction != out.Results[0].Prediction {
+		t.Fatalf("single %v != batch %v for the same cell", single.Prediction, out.Results[0].Prediction)
+	}
+	if !single.Cached {
+		t.Fatal("single request after a batch over the same cell must hit the cell cache")
+	}
+
+	// second batch: all hits
+	resp, raw = postJSON(t, ts.URL+"/v1/predict/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.Results {
+		if !r.Cached {
+			t.Fatalf("result %d not cached on the second pass: %+v", i, r)
+		}
+	}
+	st := statz(t, ts.URL)
+	if st.BatchRequests != 2 || st.BatchPreds != 6 {
+		t.Fatalf("batch counters: %+v", st)
+	}
+	// first batch: 3 misses; single: 1 cell hit; second batch: 3 cell hits
+	if st.CacheMisses != 3 || st.CellHits != 4 {
+		t.Fatalf("want 3 misses + 4 cell hits, got misses=%d cell_hits=%d", st.CacheMisses, st.CellHits)
+	}
+	if st.DataCache.Misses == 0 {
+		t.Fatalf("batch over data cells must flow through the tiered dataset cache: %+v", st.DataCache)
+	}
+}
+
+// TestPredictBatchPartialFailure: a bad item errors in place, the rest
+// of the batch lands, and the HTTP status stays 200.
+func TestPredictBatchPartialFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/predict/batch", BatchRequest{
+		Scheme: "khan2023", Compressor: "sz3", Dims: []int{8, 8, 8},
+		Fields: []string{"P", "NOPE"},
+		Steps:  []int{0, 0},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial failure must stay 200, got %d: %s", resp.StatusCode, raw)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 1 {
+		t.Fatalf("want 1 itemized error, got %+v", out)
+	}
+	if out.Results[0].Error != "" || out.Results[1].Error == "" {
+		t.Fatalf("error must land on item 1 only: %+v", out.Results)
+	}
+}
+
+// TestPredictBatchFeatureRows drives the flat row-major features matrix.
+func TestPredictBatchFeatureRows(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/predict/batch", BatchRequest{
+		Scheme: "khan2023", Compressor: "sz3",
+		Features: []float64{3.5, 7.25}, // khan2023 has 1 feature → 2 rows
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 2 || out.Errors != 0 {
+		t.Fatalf("want 2 clean rows, got %+v", out)
+	}
+}
+
+// TestPredictBatchNDJSON drives the streaming NDJSON variant: envelope
+// line + item lines in, one result line per item + summary line out.
+func TestPredictBatchNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var buf bytes.Buffer
+	buf.WriteString(`{"scheme":"khan2023","compressor":"sz3","dims":[8,8,8]}` + "\n")
+	for step := 0; step < 3; step++ {
+		fmt.Fprintf(&buf, `{"field":"P","step":%d}`+"\n", step)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict/batch", ContentNDJSON, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentNDJSON {
+		t.Fatalf("response content type %q", ct)
+	}
+	scn := bufio.NewScanner(resp.Body)
+	var lines []string
+	for scn.Scan() {
+		if s := strings.TrimSpace(scn.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	if len(lines) != 4 {
+		t.Fatalf("want 3 result lines + summary, got %d: %v", len(lines), lines)
+	}
+	for _, line := range lines[:3] {
+		var r BatchItemResult
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad result line %q: %v", line, err)
+		}
+		if r.Error != "" || r.Prediction <= 0 {
+			t.Fatalf("bad result: %+v", r)
+		}
+	}
+	var sum batchSummary
+	if err := json.Unmarshal([]byte(lines[3]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count != 3 || sum.Errors != 0 || sum.Scheme != "khan2023" {
+		t.Fatalf("bad summary: %+v", sum)
+	}
+}
+
+// TestPredictBatchFrames drives the length-prefixed binary variant.
+func TestPredictBatchFrames(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var buf bytes.Buffer
+	frame := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+		buf.Write(hdr[:])
+		buf.Write(b)
+	}
+	frame(map[string]any{"scheme": "khan2023", "compressor": "sz3", "dims": []int{8, 8, 8}})
+	frame(map[string]any{"field": "P", "step": 0})
+	frame(map[string]any{"field": "TC", "step": 1})
+	resp, err := http.Post(ts.URL+"/v1/predict/batch", ContentFrames, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	var frames [][]byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, b)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("want 2 result frames + summary, got %d", len(frames))
+	}
+	var r BatchItemResult
+	if err := json.Unmarshal(frames[0], &r); err != nil || r.Prediction <= 0 {
+		t.Fatalf("bad first frame %s: %v", frames[0], err)
+	}
+	var sum batchSummary
+	if err := json.Unmarshal(frames[2], &sum); err != nil || sum.Count != 2 {
+		t.Fatalf("bad summary frame %s: %v", frames[2], err)
+	}
+}
+
+// TestPredictBatchValidation pins the envelope-level failure statuses.
+func TestPredictBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body BatchRequest
+		want int
+	}{
+		{"missing scheme", BatchRequest{Compressor: "sz3", Fields: []string{"P"}, Steps: []int{0}}, 400},
+		{"unknown scheme", BatchRequest{Scheme: "nope", Compressor: "sz3", Fields: []string{"P"}, Steps: []int{0}}, 404},
+		{"no model", BatchRequest{Scheme: "krasowska2021", Compressor: "sz3", Fields: []string{"P"}, Steps: []int{0}}, 404},
+		{"empty batch", BatchRequest{Scheme: "khan2023", Compressor: "sz3"}, 400},
+		{"unparallel arrays", BatchRequest{Scheme: "khan2023", Compressor: "sz3", Fields: []string{"P"}, Steps: []int{0, 1}}, 400},
+		{"both item forms", BatchRequest{Scheme: "khan2023", Compressor: "sz3", Fields: []string{"P"}, Steps: []int{0}, Features: []float64{1}}, 400},
+		{"ragged features", BatchRequest{Scheme: "krasowska2021", Compressor: "sz3", Features: []float64{1}}, 404}, // model check precedes shape check
+		{"non-3d dims", BatchRequest{Scheme: "khan2023", Compressor: "sz3", Dims: []int{8, 8}, Fields: []string{"P"}, Steps: []int{0}}, 400},
+	}
+	for _, tc := range cases {
+		resp, raw := postJSON(t, ts.URL+"/v1/predict/batch", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, raw)
+		}
+	}
+}
+
+// TestCoalesceCounterAccounting is the deterministic coalescing test:
+// with the injectable timer holding the window open, k concurrent
+// single predicts over m distinct cells of one model must fuse into one
+// flush that accounts exactly m cache_misses and k-m coalesced_hits —
+// the /statz split that tells window batching apart from the LRU result
+// cache (cache_hits) and the cell cache (cell_hits).
+func TestCoalesceCounterAccounting(t *testing.T) {
+	var mu sync.Mutex
+	var flushes []func()
+	s, ts := newTestServer(t, Config{
+		CoalesceWindow: time.Hour, // flushes fire only via the captured timer
+		testCoalesceTimer: func(d time.Duration, fn func()) {
+			mu.Lock()
+			flushes = append(flushes, fn)
+			mu.Unlock()
+		},
+	})
+	scheme, err := core.GetScheme("khan2023")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newBatchGroup("khan2023", "sz3", scheme, pressio.Options{}, nil, 0, defaultDataDims).base
+
+	const k = 6
+	fields := []string{"P", "TC"} // m = 2 distinct cells
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+				Scheme: "khan2023", Compressor: "sz3",
+				Data: &DataRef{Field: fields[i%len(fields)], Step: 0},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, raw)
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.coalesce.pending(base) != k {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests enrolled", s.coalesce.pending(base), k)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if len(flushes) != 1 {
+		t.Fatalf("one window must schedule one flush, got %d", len(flushes))
+	}
+	flush := flushes[0]
+	mu.Unlock()
+	flush()
+	wg.Wait()
+
+	st := statz(t, ts.URL)
+	if st.CacheMisses != 2 || st.CoalescedHits != k-2 {
+		t.Fatalf("want 2 misses + %d coalesced hits, got misses=%d coalesced=%d", k-2, st.CacheMisses, st.CoalescedHits)
+	}
+	if st.CacheHits != 0 || st.CellHits != 0 {
+		t.Fatalf("no request should have hit a cache yet: %+v", st)
+	}
+
+	// the flush populated both caches: an identical request is an LRU
+	// hit, and a batch over the same cells is all cell hits
+	resp, _ := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Scheme: "khan2023", Compressor: "sz3", Data: &DataRef{Field: "P", Step: 0},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp.StatusCode)
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict/batch", BatchRequest{
+		Scheme: "khan2023", Compressor: "sz3",
+		Fields: []string{"P", "TC"}, Steps: []int{0, 0},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, raw)
+	}
+	st = statz(t, ts.URL)
+	if st.CacheHits != 1 {
+		t.Fatalf("repeat single must be an LRU hit, got %+v", st)
+	}
+	if st.CellHits != 2 {
+		t.Fatalf("batch over flushed cells must be 2 cell hits, got %+v", st)
+	}
+	if st.CacheMisses != 2 || st.CoalescedHits != k-2 {
+		t.Fatalf("hit traffic must not move the miss buckets: %+v", st)
+	}
+}
+
+// TestCoalesceConcurrent exercises the real-timer path under load (and
+// under -race in the race gate): many concurrent requests against one
+// model with a sub-millisecond window all land with the same answer.
+func TestCoalesceConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Config{CoalesceWindow: 200 * time.Microsecond})
+	const n = 24
+	preds := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+				Scheme: "khan2023", Compressor: "sz3",
+				Data: &DataRef{Field: "P", Step: 0},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			var out PredictResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				t.Error(err)
+				return
+			}
+			preds[i] = out.Prediction
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if preds[i] != preds[0] {
+			t.Fatalf("request %d got %v, request 0 got %v", i, preds[i], preds[0])
+		}
+	}
+}
+
+// TestBatchCellInvalidate: an invalidation that stales a scheme clears
+// its cell-cache entries alongside the LRU result cache.
+func TestBatchCellInvalidate(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/predict/batch", BatchRequest{
+		Scheme: "khan2023", Compressor: "sz3",
+		Fields: []string{"P", "TC"}, Steps: []int{0, 0},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, raw)
+	}
+	if s.cells.len() != 2 {
+		t.Fatalf("want 2 cached cells, got %d", s.cells.len())
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/invalidate", InvalidateRequest{Keys: []string{"pressio:abs"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invalidate status %d: %s", resp.StatusCode, raw)
+	}
+	var inv InvalidateResponse
+	if err := json.Unmarshal(raw, &inv); err != nil {
+		t.Fatal(err)
+	}
+	if s.cells.len() != 0 {
+		t.Fatalf("stale cells must be cleared, %d remain", s.cells.len())
+	}
+	if inv.ClearedCached < 2 {
+		t.Fatalf("cleared_cached must count cell entries, got %d", inv.ClearedCached)
+	}
+}

@@ -88,9 +88,11 @@ func computeFeatures(ctx context.Context, scheme core.Scheme, compressor string,
 }
 
 // resolveFeatures turns a predict request into the scheme's feature
-// vector, either by validating the client-supplied one or by
-// synthesizing the referenced buffer and evaluating the metrics.
-func resolveFeatures(ctx context.Context, scheme core.Scheme, req *PredictRequest, opts pressio.Options) ([]float64, error) {
+// vector, either by validating the client-supplied one or by reading the
+// referenced buffer — through the tiered dataset cache when enabled, so
+// repeated requests over the same cell skip synthesis and share one
+// buffer pointer — and evaluating the metrics.
+func (s *Server) resolveFeatures(ctx context.Context, scheme core.Scheme, req *PredictRequest, opts pressio.Options) ([]float64, error) {
 	want := scheme.Features()
 	if req.Features != nil {
 		if len(req.Features) != len(want) {
@@ -105,11 +107,32 @@ func resolveFeatures(ctx context.Context, scheme core.Scheme, req *PredictReques
 	if err := checkDims(dims); err != nil {
 		return nil, err
 	}
-	data, err := hurricane.Field(req.Data.Field, req.Data.Step, dims)
+	data, release, err := s.fieldData(req.Data.Field, req.Data.Step, dims)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	return computeFeatures(ctx, scheme, req.Compressor, opts, data)
+}
+
+// fieldData reads one hurricane cell, preferring the tiered dataset
+// cache (3-D cells only — its spill format is the corpus layout). The
+// returned release must be called once the buffer is no longer needed;
+// it is a no-op on the uncached path.
+func (s *Server) fieldData(field string, step int, dims []int) (*pressio.Data, func(), error) {
+	if s.data != nil && len(dims) == 3 {
+		h, err := s.data.Acquire(field, step, dims)
+		if err != nil {
+			return nil, nil, err
+		}
+		//lint:ignore pressiovet/poolescape ownership transfers to the caller, which must call the returned release
+		return h.Data(), h.Release, nil
+	}
+	data, err := hurricane.Field(field, step, dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
 }
 
 // defaultDataDims keeps data-backed predict requests cheap when the
@@ -124,7 +147,7 @@ func (s *Server) predict(ctx context.Context, req *PredictRequest, opts pressio.
 		Compressor: req.Compressor,
 		Target:     scheme.Target(),
 	}
-	features, err := resolveFeatures(ctx, scheme, req, opts)
+	features, err := s.resolveFeatures(ctx, scheme, req, opts)
 	if err != nil {
 		return resp, err
 	}
@@ -174,6 +197,31 @@ func (s *Server) predictorFor(entry *ModelEntry) (core.Predictor, error) {
 	return p, nil
 }
 
+// observeCell measures one (field, step, bound) training cell: data
+// through the tiered dataset cache — repeated fits over the same
+// hurricane fields (and any concurrent predicts) share buffers and skip
+// regeneration — features via the scheme's metrics, target via a real
+// compressor run. The pin is released before return; observations copy
+// out scalars, never the buffer.
+func (s *Server) observeCell(ctx context.Context, scheme core.Scheme, compressor string, opts pressio.Options, field string, step int, dims []int, bound float64) ([]float64, float64, error) {
+	data, release, err := s.fieldData(field, step, dims)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
+	cellOpts := opts.Clone()
+	cellOpts.Set(pressio.OptAbs, bound)
+	features, err := computeFeatures(ctx, scheme, compressor, cellOpts, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	cr, _, _, err := core.ObserveTarget(compressor, data, cellOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return features, cr, nil
+}
+
 // runFit executes one training job: observe every (field, step, bound)
 // cell — features via the scheme's metrics, target via a real compressor
 // run — fit the predictor, and publish the model to the registry.
@@ -204,17 +252,7 @@ func (s *Server) runFit(ctx context.Context, job *FitJob, req *FitRequest, opts 
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				data, err := hurricane.Field(field, step, dims)
-				if err != nil {
-					return err
-				}
-				cellOpts := opts.Clone()
-				cellOpts.Set(pressio.OptAbs, bound)
-				features, err := computeFeatures(ctx, scheme, req.Compressor, cellOpts, data)
-				if err != nil {
-					return err
-				}
-				cr, _, _, err := core.ObserveTarget(req.Compressor, data, cellOpts)
+				features, cr, err := s.observeCell(ctx, scheme, req.Compressor, opts, field, step, dims, bound)
 				if err != nil {
 					return err
 				}

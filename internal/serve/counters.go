@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/stats"
 )
 
@@ -23,6 +24,10 @@ type counters struct {
 
 	cacheHits      uint64
 	cacheMisses    uint64
+	cellHits       uint64
+	coalescedHits  uint64
+	batchRequests  uint64
+	batchPreds     uint64
 	dedupCollapses uint64
 	rejected       uint64
 	evictedModels  uint64
@@ -73,8 +78,31 @@ func (c *counters) observe(endpoint string, status int, ms float64) {
 func (c *counters) scheme(name string) { c.mu.Lock(); c.schemes[name]++; c.mu.Unlock() }
 func (c *counters) cacheHit()          { c.mu.Lock(); c.cacheHits++; c.mu.Unlock() }
 func (c *counters) cacheMiss()         { c.mu.Lock(); c.cacheMisses++; c.mu.Unlock() }
-func (c *counters) dedup()             { c.mu.Lock(); c.dedupCollapses++; c.mu.Unlock() }
-func (c *counters) reject()            { c.mu.Lock(); c.rejected++; c.mu.Unlock() }
+
+// cellHit records a request served from the cell-granular cache, as
+// distinct from cacheHit's whole-request LRU — /statz keeps the two
+// apart so a "99% hit rate" can be attributed to the right cache.
+func (c *counters) cellHit() { c.mu.Lock(); c.cellHits++; c.mu.Unlock() }
+
+// coalescedHit records a request whose cell another request in the same
+// coalescing window computed.
+func (c *counters) coalescedHit() { c.mu.Lock(); c.coalescedHits++; c.mu.Unlock() }
+
+// batch records one batch request: every item is exactly one of a
+// cell-cache hit, a computed miss, or an itemized error (errors are
+// outside hit/miss accounting).
+func (c *counters) batch(items, hits, errs int) {
+	c.mu.Lock()
+	c.batchRequests++
+	c.batchPreds += uint64(items)
+	c.cellHits += uint64(hits)
+	if m := items - hits - errs; m > 0 {
+		c.cacheMisses += uint64(m)
+	}
+	c.mu.Unlock()
+}
+func (c *counters) dedup()  { c.mu.Lock(); c.dedupCollapses++; c.mu.Unlock() }
+func (c *counters) reject() { c.mu.Lock(); c.rejected++; c.mu.Unlock() }
 func (c *counters) evicted(models, cached int) {
 	c.mu.Lock()
 	c.evictedModels += uint64(models)
@@ -141,11 +169,20 @@ type Statz struct {
 	CacheHits      uint64                   `json:"cache_hits"`
 	CacheMisses    uint64                   `json:"cache_misses"`
 	CacheSize      int                      `json:"cache_size"`
+	CellHits       uint64                   `json:"cell_hits"`
+	CellCacheSize  int                      `json:"cell_cache_size"`
+	CoalescedHits  uint64                   `json:"coalesced_hits"`
+	BatchRequests  uint64                   `json:"batch_requests"`
+	BatchPreds     uint64                   `json:"batch_predictions"`
 	DedupCollapses uint64                   `json:"dedup_collapses"`
 	Rejected       uint64                   `json:"rejected"`
 	EvictedModels  uint64                   `json:"evicted_models"`
 	EvictedCached  uint64                   `json:"evicted_cached"`
-	Process        ProcessStats             `json:"process"`
+	// DataCache is the tiered dataset cache's tier accounting
+	// (mem/disk/miss counts plus resident and mapped bytes); all-zero
+	// when the cache is disabled.
+	DataCache dataset.TieredStats `json:"data_cache"`
+	Process   ProcessStats        `json:"process"`
 }
 
 // snapshot assembles the endpoint/scheme/cache section of Statz; the
@@ -159,6 +196,10 @@ func (c *counters) snapshot() Statz {
 		Schemes:        make(map[string]uint64, len(c.schemes)),
 		CacheHits:      c.cacheHits,
 		CacheMisses:    c.cacheMisses,
+		CellHits:       c.cellHits,
+		CoalescedHits:  c.coalescedHits,
+		BatchRequests:  c.batchRequests,
+		BatchPreds:     c.batchPreds,
 		DedupCollapses: c.dedupCollapses,
 		Rejected:       c.rejected,
 		EvictedModels:  c.evictedModels,

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -338,5 +339,108 @@ func TestCrashHarnessCatchesJournalLoss(t *testing.T) {
 	}
 	if !lost {
 		t.Errorf("journal-less crash produced violations %v, want a lost acknowledged job", res.violations)
+	}
+}
+
+// TestKillDuringBatchFlush kills the node while a coalesced batch flush
+// is mid-computation — the instant the tentpole's hot path is busiest.
+// The disk is frozen exactly when the flush worker starts (via the
+// testHookBatchFlush crash point), then the frozen state is restarted:
+// the fit job acked before the kill must still be done with its model
+// intact, and the restarted node must serve batch traffic again. Batch
+// work in flight at the kill was never acked, so it may vanish — but it
+// must not corrupt the store.
+func TestKillDuringBatchFlush(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	efs := faultinject.NewErrFS(dir, faultinject.New(1))
+	st, err := store.OpenFS(dir, efs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Sync = true
+
+	flushStarted := make(chan struct{})
+	gate := make(chan struct{})
+	var arm sync.Once
+	cfg := Config{Deadline: time.Minute}
+	cfg.testHookBatchFlush = func() {
+		arm.Do(func() { close(flushStarted) })
+		<-gate
+	}
+	s, err := New(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// acked work that must survive: a fit driven to done before the kill
+	ack := do(h, http.MethodPost, "/v1/fit", tinyFit())
+	if ack.Code != http.StatusAccepted {
+		t.Fatalf("fit ack = %d: %s", ack.Code, ack.Body.String())
+	}
+	var fr FitResponse
+	json.Unmarshal(ack.Body.Bytes(), &fr)
+	if job, found := waitTerminalRec(h, fr.JobID, time.Minute); !found || job.Status != "done" {
+		t.Fatalf("pre-kill job = %+v (found=%v), want done", job, found)
+	}
+
+	// put a batch flush in flight, then freeze the disk while it runs
+	batchReq := BatchRequest{
+		Scheme: "khan2023", Compressor: "sz3", Dims: []int{8, 8, 8},
+		Fields: []string{"P", "TC"}, Steps: []int{0, 0},
+	}
+	inflight := make(chan struct{})
+	go func() {
+		defer close(inflight)
+		do(h, http.MethodPost, "/v1/predict/batch", batchReq)
+	}()
+	<-flushStarted
+	frozen, err := efs.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// post-mortem cleanup of the "dead" process: release the orphaned
+	// flush and tear down — none of it can reach the frozen snapshot
+	close(gate)
+	<-inflight
+	s.Drain()
+	st.Close()
+
+	// restart on the disk as the kill left it
+	if _, err := store.Fsck(frozen, true); err != nil {
+		t.Fatalf("storecheck refused to repair: %v", err)
+	}
+	st2, err := store.Open(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2, err := New(st2, Config{Deadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	h2 := s2.Handler()
+
+	job, found := waitTerminalRec(h2, fr.JobID, time.Minute)
+	switch {
+	case !found:
+		t.Errorf("lost acknowledged job %s across the kill", fr.JobID)
+	case job.Status != "done":
+		t.Errorf("acknowledged job %s = %s (%s), want done", fr.JobID, job.Status, job.Error)
+	}
+	req := tinyFit()
+	key := ModelKey(req.Scheme, req.Compressor, pressio.Options{}, req.Training)
+	if _, ok, _ := st2.Get(key); !ok {
+		t.Errorf("published model %s vanished across the kill", key)
+	}
+	if w := do(h2, http.MethodPost, "/v1/predict/batch", batchReq); w.Code != http.StatusOK {
+		t.Errorf("restarted node batch predict = %d: %s", w.Code, w.Body.String())
 	}
 }

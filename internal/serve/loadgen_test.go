@@ -52,3 +52,63 @@ func TestLoadGenNeedsRequests(t *testing.T) {
 		t.Error("LoadGen with no requests should error")
 	}
 }
+
+// TestLoadGenBatchMix drives a mixed single/batch load and asserts the
+// amortization arithmetic: every op completes, batched ops carry their
+// full item count, and the prediction total exceeds the request total
+// by exactly the batched surplus.
+func TestLoadGenBatchMix(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 256, Deadline: 30 * time.Second})
+	defer s.Drain()
+
+	// data-coordinate requests over a small corpus window, all under the
+	// non-training khan2023 scheme (no fit needed)
+	var reqs []PredictRequest
+	for i, field := range []string{"P", "TC", "QVAPOR", "W"} {
+		reqs = append(reqs, PredictRequest{
+			Scheme:     "khan2023",
+			Compressor: "sz3",
+			Data:       &DataRef{Field: field, Step: i % 2, Dims: []int{8, 8, 8}},
+		})
+	}
+	const clients, perClient = 4, 20
+	res, err := LoadGenWith(ts.URL, clients, perClient, reqs, LoadGenOpts{
+		BatchPct:   50,
+		BatchSizes: []int{4, 8},
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != clients*perClient {
+		t.Errorf("ran %d requests, want %d", res.Requests, clients*perClient)
+	}
+	if res.Errors != 0 || res.Rejected != 0 {
+		t.Errorf("%d errors, %d rejected, want clean run", res.Errors, res.Rejected)
+	}
+	if res.Batches == 0 || res.Batches == res.Requests {
+		t.Errorf("batches = %d of %d requests, want a genuine mix", res.Batches, res.Requests)
+	}
+	// singles carry 1 prediction each; every batch carries >= min(BatchSizes)
+	singles := res.Requests - res.Batches
+	if min := singles + 4*res.Batches; res.Predictions < min {
+		t.Errorf("predictions = %d, want >= %d (%d singles + %d batches)", res.Predictions, min, singles, res.Batches)
+	}
+	st := statz(t, ts.URL)
+	if st.BatchRequests != uint64(res.Batches) {
+		t.Errorf("statz batch_requests = %d, loadgen counted %d", st.BatchRequests, res.Batches)
+	}
+	if got := uint64(res.Predictions - singles); st.BatchPreds != got {
+		t.Errorf("statz batch_predictions = %d, loadgen counted %d", st.BatchPreds, got)
+	}
+}
+
+func TestLoadGenBatchNeedsDataRefs(t *testing.T) {
+	reqs := []PredictRequest{khanRequest(1.5)} // features, no DataRef
+	if _, err := LoadGenWith("http://127.0.0.1:0", 1, 1, reqs, LoadGenOpts{BatchPct: 50, BatchSizes: []int{4}}); err == nil {
+		t.Error("batch loadgen over feature requests should error")
+	}
+	if _, err := LoadGenWith("http://127.0.0.1:0", 1, 1, reqs, LoadGenOpts{BatchPct: 50}); err == nil {
+		t.Error("batch loadgen without sizes should error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	_ "repro/internal/compressor/szx"
 	_ "repro/internal/compressor/zfp"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	_ "repro/internal/metrics" // register metric plugins
 	"repro/internal/pressio"
 	"repro/internal/store"
@@ -68,14 +69,37 @@ type Config struct {
 	// survives losing this node entirely. A barrier failure withdraws
 	// the job (503 + Retry-After; the client retries idempotently).
 	AckBarrier func(ctx context.Context) error
+	// DataCacheBytes bounds the memory tier of the tiered dataset cache
+	// that predict and fit read hurricane cells through (default 128
+	// MiB; negative disables the cache and every request re-synthesizes).
+	// Serving buffers through one cache gives concurrent requests the
+	// same *pressio.Data pointer, which is what lets stats.SummaryOf
+	// share one summary pass across requests.
+	DataCacheBytes int64
+	// DataSpillDir, when set, enables the dataset cache's mmap-backed
+	// disk tier (predictd -data-spill).
+	DataSpillDir string
+	// CoalesceWindow, when positive, fuses concurrent single predicts
+	// against the same model into one batched feature-extraction pass:
+	// the first cache-missing request opens a window, requests arriving
+	// within the window enroll, and one flush computes every enrolled
+	// cell (predictd default 500µs; zero disables).
+	CoalesceWindow time.Duration
 
 	// testHookPredict, when set, runs inside every uncached predict
 	// computation — tests use it to hold worker slots busy.
 	testHookPredict func()
 	// testHookFit, when set, runs at the start of every fit execution.
 	testHookFit func()
+	// testHookBatchFlush, when set, runs at the start of every batch /
+	// coalesce flush computation (the crash harness kills here).
+	testHookBatchFlush func()
 	// testClock, when set, replaces time.Now for job TTL eviction.
 	testClock func() time.Time
+	// testCoalesceTimer, when set, replaces time.AfterFunc for
+	// scheduling window flushes — the injectable clock that keeps
+	// coalescing tests deterministic.
+	testCoalesceTimer func(d time.Duration, fn func())
 }
 
 func (c *Config) defaults() {
@@ -102,6 +126,9 @@ func (c *Config) defaults() {
 	}
 	if c.JobRetain <= 0 {
 		c.JobRetain = 256
+	}
+	if c.DataCacheBytes == 0 {
+		c.DataCacheBytes = 128 << 20
 	}
 }
 
@@ -191,6 +218,9 @@ type Server struct {
 	cfg       Config
 	registry  *Registry
 	cache     *lruCache
+	cells     *cellCache
+	data      *dataset.TieredCache
+	coalesce  *coalescer
 	flight    *flightGroup
 	pool      *workerPool
 	fitPool   *workerPool
@@ -221,6 +251,7 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		cfg:       cfg,
 		registry:  reg,
 		cache:     newLRUCache(cfg.CacheSize),
+		cells:     newCellCache(cfg.CacheSize),
 		flight:    newFlightGroup(),
 		pool:      newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		fitPool:   newWorkerPool(cfg.FitWorkers, cfg.FitQueueDepth),
@@ -229,6 +260,17 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		jobs:      map[string]*FitJob{},
 		jobByKey:  map[string]string{},
 	}
+	if cfg.DataCacheBytes > 0 {
+		dc, err := dataset.NewTiered(dataset.TieredConfig{
+			CapacityBytes: cfg.DataCacheBytes,
+			SpillDir:      cfg.DataSpillDir,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.data = dc
+	}
+	s.coalesce = newCoalescer(s)
 	if !cfg.DisableJournal {
 		s.journal = &journal{st: st}
 	}
@@ -317,6 +359,7 @@ func (s *Server) Registry() *Registry { return s.registry }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.timed("/v1/predict", s.handlePredict))
+	mux.HandleFunc("/v1/predict/batch", s.timed("/v1/predict/batch", s.handlePredictBatch))
 	mux.HandleFunc("/v1/fit", s.timed("/v1/fit", s.handleFit))
 	mux.HandleFunc("/v1/jobs/", s.timed("/v1/jobs", s.handleJob))
 	mux.HandleFunc("/v1/models", s.timed("/v1/models", s.handleModels))
@@ -475,6 +518,32 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 		resp.Cached = true
 		return writeJSON(w, http.StatusOK, resp)
 	}
+
+	// data-backed requests on a 3-D grid have a cell identity the batch
+	// path shares: check the cell cache, and past it, coalesce with
+	// concurrent requests against the same model
+	var g *batchGroup
+	if req.Data != nil {
+		dims := req.Data.Dims
+		if len(dims) == 0 {
+			dims = defaultDataDims
+		}
+		if len(dims) == 3 && checkDims(dims) == nil {
+			g = newBatchGroup(req.Scheme, req.Compressor, scheme, opts, entry, req.Alpha, dims)
+			if v, ok := s.cells.get(cellKey{base: g.base, field: req.Data.Field, step: req.Data.Step}); ok {
+				s.stats.cellHit()
+				resp := PredictResponse{
+					Scheme: req.Scheme, Compressor: req.Compressor,
+					Target: v.target, Prediction: v.prediction,
+					Interval: v.interval, Model: v.model, Cached: true,
+				}
+				return writeJSON(w, http.StatusOK, resp)
+			}
+		}
+	}
+	if g != nil && s.cfg.CoalesceWindow > 0 {
+		return s.predictCoalesced(w, r, &req, key, g)
+	}
 	s.stats.cacheMiss()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
@@ -512,6 +581,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 			<-done
 			if cerr == nil {
 				s.cache.add(key, cacheValue{resp: resp, scheme: req.Scheme})
+				if g != nil {
+					// backfill the cell cache so later batches (and
+					// coalesced singles) hit what this request computed
+					s.cells.add(cellKey{base: g.base, field: req.Data.Field, step: req.Data.Step}, cellValue{
+						prediction: resp.Prediction, interval: resp.Interval,
+						scheme: req.Scheme, model: resp.Model, target: resp.Target,
+					})
+				}
 			}
 			return resp, cerr
 		})
@@ -846,19 +923,21 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) int {
 	// clear cached predictions from schemes the declaration made stale
 	// (memoized per scheme; cache entries are the only source of names)
 	staleMemo := map[string]bool{}
-	cleared := s.cache.evictIf(func(v cacheValue) bool {
-		stale, ok := staleMemo[v.scheme]
+	staleScheme := func(name string) bool {
+		stale, ok := staleMemo[name]
 		if !ok {
-			scheme, err := core.GetScheme(v.scheme)
+			scheme, err := core.GetScheme(name)
 			if err != nil {
 				stale = true
 			} else {
 				stale, _ = core.SchemeStale(scheme, req.Keys)
 			}
-			staleMemo[v.scheme] = stale
+			staleMemo[name] = stale
 		}
 		return stale
-	})
+	}
+	cleared := s.cache.evictIf(func(v cacheValue) bool { return staleScheme(v.scheme) })
+	cleared += s.cells.evictIf(staleScheme)
 	s.stats.evicted(len(evicted), cleared)
 	resp := InvalidateResponse{EvictedModels: evicted, ClearedCached: cleared}
 	if resp.EvictedModels == nil {
@@ -889,6 +968,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	st.Replaying = s.replaying.Load()
 	st.Models = s.registry.Len()
 	st.CacheSize = s.cache.len()
+	st.CellCacheSize = s.cells.len()
+	if s.data != nil {
+		st.DataCache = s.data.Stats()
+	}
 	st.Jobs = map[string]int{}
 	s.jobMu.Lock()
 	for _, j := range s.jobs {

@@ -51,11 +51,26 @@ func TestStatzJSONShape(t *testing.T) {
 		"uptime_seconds", "draining", "replaying", "models", "jobs",
 		"jobs_retained", "jobs_evicted", "journal_errors", "endpoints",
 		"schemes", "cache_hits", "cache_misses", "cache_size",
+		"cell_hits", "cell_cache_size", "coalesced_hits",
+		"batch_requests", "batch_predictions", "data_cache",
 		"dedup_collapses", "rejected", "evicted_models", "evicted_cached",
 		"process",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("/statz missing top-level key %q", key)
+		}
+	}
+
+	var dc map[string]json.RawMessage
+	if err := json.Unmarshal(doc["data_cache"], &dc); err != nil {
+		t.Fatalf("data_cache section: %v", err)
+	}
+	for _, key := range []string{
+		"mem_hits", "disk_hits", "misses", "evictions",
+		"resident_bytes", "mapped_bytes",
+	} {
+		if _, ok := dc[key]; !ok {
+			t.Errorf("/statz data_cache section missing key %q", key)
 		}
 	}
 
